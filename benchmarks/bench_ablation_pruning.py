@@ -1,0 +1,56 @@
+"""Ablation: monotone pruning vs exhaustive labelling in the explorer.
+
+DESIGN.md calls this design choice out: partial safety ordering assumes
+performance decreases monotonically with safety and stops evaluating a
+path as soon as the budget fails.  The ablation shows the pruned run
+returns the *same answer* as exhaustive measurement with fewer
+evaluations.
+"""
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.bench import format_table
+from repro.explore import explore, generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+BUDGETS = (400_000, 500_000, 650_000, 800_000)
+
+
+def measure(layout):
+    return evaluate_profile(
+        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+    )["requests_per_second"]
+
+
+def run_ablation():
+    layouts = generate_fig6_space()
+    rows = []
+    for budget in BUDGETS:
+        pruned = explore(layouts, measure, budget=budget)
+        full = explore(layouts, measure, budget=budget,
+                       assume_monotonic=False)
+        rows.append({
+            "budget (kreq/s)": budget // 1000,
+            "evaluations (pruned)": pruned.evaluations,
+            "evaluations (exhaustive)": full.evaluations,
+            "same answer": pruned.recommended == full.recommended,
+            "recommended": len(pruned.recommended),
+        })
+    return rows
+
+
+def test_ablation_pruning(benchmark):
+    rows = benchmark(run_ablation)
+    text = format_table(
+        rows, title="Ablation: explorer pruning vs exhaustive labelling",
+    )
+    write_result("ablation_pruning", text)
+
+    for row in rows:
+        assert row["same answer"]
+        assert row["evaluations (pruned)"] <= \
+            row["evaluations (exhaustive)"]
+    # Tighter budgets prune more aggressively.
+    evaluations = [row["evaluations (pruned)"] for row in rows]
+    assert evaluations[-1] <= evaluations[0]

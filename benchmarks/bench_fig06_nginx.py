@@ -1,0 +1,39 @@
+"""Figure 6 (bottom): Nginx HTTP throughput over the 80-config sweep."""
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.nginx import NGINX_HTTP_PROFILE
+from repro.bench import Wayfinder, format_table
+from repro.explore import generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def run_sweep():
+    layouts = generate_fig6_space()
+    wayfinder = Wayfinder(metric="HTTP requests/s")
+
+    def measure(layout):
+        return evaluate_profile(
+            NGINX_HTTP_PROFILE, layout, DEFAULT_COSTS, "nginx",
+        )["requests_per_second"]
+
+    return wayfinder.sweep(layouts, measure)
+
+
+def test_fig06_nginx_sweep(benchmark):
+    result = benchmark(run_sweep)
+    rows = [
+        {"configuration": name, "kreq/s": "%.0f" % (value / 1e3)}
+        for name, value, _ in result.rows()
+    ]
+    text = format_table(
+        rows,
+        title="Figure 6 (bottom): Nginx throughput, 80 configurations",
+    )
+    write_result("fig06_nginx", text)
+
+    assert len(result) == 80
+    base = result.value_of("A/none")
+    # Paper: isolating/hardening the scheduler is cheap for Nginx.
+    assert 1 - result.value_of("B/none") / base < 0.10
+    assert 1 - result.value_of("A/uksched") / base < 0.05

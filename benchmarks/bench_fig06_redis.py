@@ -1,0 +1,47 @@
+"""Figure 6 (top): Redis GET throughput over the 80-configuration sweep.
+
+Components: TCP/IP stack, libc, scheduler, application; compartments 1-3;
+per-component hardening toggled; isolation fixed to MPK with DSS.
+"""
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.bench import Wayfinder, format_table
+from repro.explore import generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def run_sweep():
+    layouts = generate_fig6_space()
+    wayfinder = Wayfinder(metric="GET requests/s")
+
+    def measure(layout):
+        return evaluate_profile(
+            REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+        )["requests_per_second"]
+
+    return wayfinder.sweep(layouts, measure)
+
+
+def test_fig06_redis_sweep(benchmark):
+    result = benchmark(run_sweep)
+    rows = [
+        {"configuration": name, "kreq/s": "%.0f" % (value / 1e3)}
+        for name, value, _ in result.rows()
+    ]
+    text = format_table(
+        rows, title="Figure 6 (top): Redis throughput, 80 configurations",
+    )
+    write_result("fig06_redis", text)
+
+    assert len(result) == 80
+    best_name, best, _ = result.best()
+    worst_name, worst, _ = result.worst()
+    # Paper: fastest is no isolation + no hardening; ~4.1x total spread
+    # (292K..1.2M req/s on the authors' testbed).
+    assert best_name == "A/none"
+    assert 3.5 <= best / worst <= 5.5
+    base = result.value_of("A/none")
+    assert 1 - result.value_of("C/none") / base < 0.2   # lwip cut cheap
+    assert 1 - result.value_of("B/none") / base > 0.3   # sched cut dear

@@ -1,0 +1,54 @@
+"""Figure 7: Nginx versus Redis normalized performance.
+
+Same dataset as Figure 6: for every configuration, performance normalized
+to each application's fastest configuration.  The scatter's spread off
+the diagonal is the figure's message — the same safety configuration
+slows the two applications unevenly.
+"""
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.nginx import NGINX_HTTP_PROFILE
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.bench import format_table
+from repro.explore import generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def run_comparison():
+    layouts = generate_fig6_space()
+    points = []
+    for layout in layouts:
+        redis = evaluate_profile(REDIS_GET_PROFILE, layout, DEFAULT_COSTS,
+                                 "redis")["requests_per_second"]
+        nginx = evaluate_profile(NGINX_HTTP_PROFILE, layout, DEFAULT_COSTS,
+                                 "nginx")["requests_per_second"]
+        points.append((layout.name, redis, nginx))
+    redis_base = max(r for _, r, _ in points)
+    nginx_base = max(n for _, _, n in points)
+    return [
+        (name, redis / redis_base, nginx / nginx_base)
+        for name, redis, nginx in points
+    ]
+
+
+def test_fig07_normalized_scatter(benchmark):
+    points = benchmark(run_comparison)
+    rows = [
+        {"configuration": name,
+         "redis (norm)": "%.3f" % r,
+         "nginx (norm)": "%.3f" % n,
+         "nginx/redis": "%.2f" % (n / r)}
+        for name, r, n in points
+    ]
+    text = format_table(
+        rows, title="Figure 7: Nginx vs Redis normalized performance",
+    )
+    write_result("fig07_scatter", text)
+
+    assert len(points) == 80
+    ratios = [n / r for _, r, n in points]
+    # Both triangles of the scatter are populated and the spread is real.
+    assert max(ratios) > 1.05
+    assert min(ratios) < 0.95
+    assert max(ratios) / min(ratios) > 1.3

@@ -1,0 +1,64 @@
+"""Figure 8: the Redis configuration poset with partial safety ordering.
+
+Reproduces the full Section 6.2 run: build the 80-node poset from the
+Fig. 6 Redis dataset, label it with performance, and star the safest
+configurations sustaining >= 500K requests/s.
+"""
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.bench import format_table
+from repro.explore import explore, generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+BUDGET = 500_000
+
+
+def measure(layout):
+    return evaluate_profile(
+        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+    )["requests_per_second"]
+
+
+def run_exploration():
+    return explore(generate_fig6_space(), measure, budget=BUDGET)
+
+
+def test_fig08_partial_safety_ordering(benchmark):
+    result = benchmark(run_exploration)
+    poset = result.poset
+
+    rows = [{
+        "poset nodes": len(poset),
+        "hasse edges": len(poset.edges()),
+        "evaluated": result.evaluations,
+        "pruned unmeasured": len(result.pruned),
+        "meeting budget": len(result.passing),
+        "starred (safest)": len(result.recommended),
+    }]
+    detail = [
+        {"starred configuration": name,
+         "kreq/s": "%.0f" % (result.measurements[name] / 1e3)}
+        for name in result.recommended
+    ]
+    text = (
+        format_table(rows, title="Figure 8: poset exploration summary "
+                                 "(budget: 500K req/s)")
+        + "\n\n" + format_table(detail)
+    )
+    write_result("fig08_poset", text)
+
+    # Also emit the actual Fig. 8 plot as Graphviz DOT.
+    from repro.explore.visualize import exploration_to_dot
+
+    write_result("fig08_poset_dot", exploration_to_dot(result))
+
+    # Paper: the technique prunes 80 configurations to ~5 starred ones.
+    assert len(poset) == 80
+    assert 1 <= len(result.recommended) <= 12
+    assert result.evaluations < 80  # pruning really skipped work
+    for name in result.recommended:
+        assert result.measurements[name] >= BUDGET
+    # The single fastest node is A/none, the least safe one.
+    assert poset.minimal_elements() == ["A/none"]

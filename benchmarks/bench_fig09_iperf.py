@@ -1,0 +1,57 @@
+"""Figure 9: network-stack throughput (iPerf) vs recv-buffer size.
+
+Setups: Unikraft baseline, FlexOS without isolation, MPK with shared call
+stacks (-light), MPK with protected stacks + DSS (-dss), and EPT — with
+the iPerf application in one compartment and the rest of the system
+(including the network stack) in another.
+"""
+
+from benchmarks.common import write_result
+from repro.apps.iperf import FIG9_BUFFER_SIZES, FIG9_SETUPS, throughput_gbps
+from repro.bench import format_series
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def run_series():
+    return {
+        setup: [
+            (size, throughput_gbps(size, setup, DEFAULT_COSTS))
+            for size in FIG9_BUFFER_SIZES
+        ]
+        for setup in FIG9_SETUPS
+    }
+
+
+def test_fig09_iperf_batching(benchmark):
+    series = benchmark(run_series)
+    text = format_series(
+        series, x_label="buffer (B)",
+        title="Figure 9: iPerf throughput (Gb/s) vs recv buffer size",
+    )
+    write_result("fig09_iperf", text)
+
+    as_dict = {
+        setup: dict(points) for setup, points in series.items()
+    }
+    small, large = FIG9_BUFFER_SIZES[0], FIG9_BUFFER_SIZES[-1]
+
+    # "FlexOS without isolation performs similarly to Unikraft."
+    for size in FIG9_BUFFER_SIZES:
+        assert as_dict["flexos-none"][size] == as_dict["unikraft"][size]
+
+    # Ordering at small payloads: gates dominate.
+    assert as_dict["flexos-none"][small] > \
+        as_dict["flexos-mpk-light"][small] > \
+        as_dict["flexos-mpk-dss"][small] > \
+        as_dict["flexos-ept"][small]
+
+    # Batching: every isolated setup converges towards the baseline.
+    assert as_dict["flexos-mpk-dss"][large] > \
+        0.97 * as_dict["flexos-none"][large]
+    assert as_dict["flexos-ept"][large] > \
+        0.9 * as_dict["flexos-none"][large]
+
+    # EPT is 1.1-2.2x slower than MPK-DSS across the sweep.
+    for size in FIG9_BUFFER_SIZES:
+        ratio = as_dict["flexos-mpk-dss"][size] / as_dict["flexos-ept"][size]
+        assert 1.0 <= ratio <= 2.3

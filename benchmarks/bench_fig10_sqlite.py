@@ -1,0 +1,80 @@
+"""Figure 10: time to perform 5000 SQLite INSERT transactions.
+
+Bars: Unikraft (KVM + linuxu baselines), FlexOS (no isolation, MPK3,
+EPT2), Linux, SeL4/Genode, CubicleOS (none, PT2, PT3).
+"""
+
+from benchmarks.common import write_result
+from repro.apps.base import ComponentLayout, evaluate_profile
+from repro.apps.sqlite import SQLITE_INSERT_PROFILE
+from repro.baselines import (
+    CubicleOsBaseline,
+    LinuxBaseline,
+    Sel4GenodeBaseline,
+    UnikraftBaseline,
+)
+from repro.bench import format_table
+from repro.hw.clock import XEON_4114_HZ
+from repro.hw.costs import DEFAULT_COSTS
+
+N_INSERTS = 5000
+PROFILE = SQLITE_INSERT_PROFILE
+
+
+def flexos_seconds(partition, mechanism):
+    layout = ComponentLayout(
+        "fig10", partition,
+        mechanism=mechanism if len(partition) > 1 else "none",
+    )
+    cycles = evaluate_profile(PROFILE, layout, DEFAULT_COSTS,
+                              "sqlite")["cycles"]
+    return N_INSERTS * cycles / XEON_4114_HZ
+
+
+def run_comparison():
+    results = {}
+    results["unikraft (kvm)"] = UnikraftBaseline("kvm").run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["flexos NONE"] = flexos_seconds(
+        ({"app", "filesystem", "uktime", "newlib"},), "none")
+    results["flexos MPK3"] = flexos_seconds(
+        ({"app", "newlib"}, {"filesystem"}, {"uktime"}), "intel-mpk")
+    results["flexos EPT2"] = flexos_seconds(
+        ({"app", "newlib", "uktime"}, {"filesystem"}), "vm-ept")
+    results["linux"] = LinuxBaseline().run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["sel4 (genode)"] = Sel4GenodeBaseline().run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["unikraft (linuxu)"] = UnikraftBaseline("linuxu").run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["cubicleos NONE"] = CubicleOsBaseline(1).run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["cubicleos PT2"] = CubicleOsBaseline(2).run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    results["cubicleos PT3"] = CubicleOsBaseline(3).run_workload(
+        PROFILE, DEFAULT_COSTS, N_INSERTS)
+    return results
+
+
+def test_fig10_sqlite_inserts(benchmark):
+    results = benchmark(run_comparison)
+    base = results["unikraft (kvm)"]
+    rows = [
+        {"system": name,
+         "time (ms)": "%.2f" % (seconds * 1e3),
+         "vs unikraft": "%.2fx" % (seconds / base)}
+        for name, seconds in results.items()
+    ]
+    text = format_table(
+        rows, title="Figure 10: 5000 SQLite INSERTs (one txn each)",
+    )
+    write_result("fig10_sqlite", text)
+
+    # The paper's headline comparisons:
+    assert results["flexos NONE"] / base < 1.02           # no overhead
+    assert 1.7 <= results["flexos MPK3"] / base <= 2.3    # MPK3 ~ 2x
+    assert abs(results["flexos EPT2"] - results["linux"]) \
+        / results["linux"] < 0.10                          # EPT2 ~ Linux
+    assert results["sel4 (genode)"] / results["flexos MPK3"] > 2.5
+    assert results["cubicleos PT3"] / results["flexos MPK3"] >= 8
+    assert results["cubicleos NONE"] < results["unikraft (linuxu)"]

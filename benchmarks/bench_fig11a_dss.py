@@ -1,0 +1,73 @@
+"""Figure 11a: stack allocation strategies microbenchmark.
+
+Execution time of a function that allocates 1-3 shared one-byte stack
+variables and returns, for each sharing strategy: plain/shared stack,
+DSS, and heap conversion.  Run against the real allocators and DSS
+implementation on a booted machine.
+"""
+
+from benchmarks.common import write_result
+from repro.bench import format_series
+from repro.core.dss import DataShadowStack
+from repro.core.sharing import SharingStrategy
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext, use_context
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.kernel.allocators import TlsfAllocator
+from repro.kernel.memmgr import STACK_SIZE
+
+STRATEGIES = ("shared-stack", "dss", "heap")
+VAR_COUNTS = (1, 2, 3)
+
+
+def build_strategy(kind, memory, costs):
+    heap = TlsfAllocator(
+        memory.add_region("shared-heap-%s" % kind, 1 << 20, kind="shared"),
+    )
+    stack = memory.add_region("stack-%s" % kind, STACK_SIZE, kind="stack")
+    shadow = memory.add_region("dss-%s" % kind, STACK_SIZE, kind="dss")
+    dss = DataShadowStack(stack, shadow, costs)
+    return SharingStrategy(kind, costs, shared_heap=heap,
+                           stack_region=stack, dss=dss)
+
+
+def run_microbenchmark():
+    costs = CostModel.xeon_4114()
+    memory = PhysicalMemory()
+    ctx = ExecutionContext(Clock(), costs, MMU(memory, costs))
+    series = {}
+    with use_context(ctx):
+        for kind in STRATEGIES:
+            strategy = build_strategy(kind, memory, costs)
+            points = []
+            for n_vars in VAR_COUNTS:
+                with ctx.clock.measure() as measured:
+                    with strategy.frame() as frame:
+                        for i in range(n_vars):
+                            frame.alloc("v%d" % i, 1)
+                points.append((n_vars, measured.cycles))
+            series[kind] = points
+    return series
+
+
+def test_fig11a_stack_allocations(benchmark):
+    series = benchmark(run_microbenchmark)
+    text = format_series(
+        series, x_label="# shared vars",
+        title="Figure 11a: cycles to allocate shared stack variables",
+        fmt="%.0f",
+    )
+    write_result("fig11a_dss", text)
+
+    as_dict = {kind: dict(points) for kind, points in series.items()}
+    for n_vars in VAR_COUNTS:
+        # Heap conversion is 1-2 orders of magnitude above stack speed.
+        assert as_dict["heap"][n_vars] >= 50 * as_dict["dss"][n_vars]
+        # The DSS matches the shared stack (constant ~2 cycles per var).
+        assert as_dict["dss"][n_vars] == as_dict["shared-stack"][n_vars]
+    # Heap cost grows with the variable count (one malloc+free each).
+    assert as_dict["heap"][3] > as_dict["heap"][1]
+    # Stack-speed cost stays tiny and linear.
+    assert as_dict["dss"][3] <= 10

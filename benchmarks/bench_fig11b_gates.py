@@ -1,0 +1,101 @@
+"""Figure 11b: gate latency microbenchmark.
+
+Latency of: a plain function call, MPK light gates, full MPK gates, EPT
+RPC gates, and Linux syscalls with/without KPTI — measured by running the
+actual gate objects on the virtual clock.
+"""
+
+from benchmarks.common import write_result
+from repro.bench import format_table
+from repro.core.config import CompartmentSpec
+from repro.core.gates import (
+    EptRpcGate,
+    FunctionCallGate,
+    MpkFullGate,
+    MpkLightGate,
+)
+from repro.core.image import Compartment
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.hw.mpk import PKRU
+
+ROUNDS = 100
+
+
+def _noop():
+    return None
+
+
+def run_latencies():
+    costs = CostModel.xeon_4114()
+    src = Compartment(0, CompartmentSpec("comp1", default=True), ["app"])
+    dst = Compartment(1, CompartmentSpec("comp2"), ["lwip"])
+    src.pkey, dst.pkey = 0, 1
+    src.shared_pkeys = dst.shared_pkeys = (15,)
+
+    gates = {
+        "function call": FunctionCallGate(src, dst, costs),
+        "mpk-light": MpkLightGate(src, dst, costs),
+        "mpk": MpkFullGate(src, dst, costs),
+        "ept": EptRpcGate(src, dst, costs),
+    }
+    latencies = {}
+    for name, gate in gates.items():
+        ctx = ExecutionContext(Clock(), costs,
+                               MMU(PhysicalMemory(), costs))
+        ctx.pkru = PKRU(allowed=(0, 15))
+        with ctx.clock.measure() as measured:
+            for _ in range(ROUNDS):
+                gate.call(ctx, "lwip", _noop, (), {})
+        latencies[name] = measured.cycles / ROUNDS
+
+    # Syscall bars for comparison (one-way kernel entry + exit).
+    latencies["syscall-nokpti"] = 2 * costs.syscall
+    latencies["syscall"] = 2 * costs.syscall_kpti
+
+    # Extension beyond the paper's figure: the SGX backend's ECALL gate.
+    from repro.core.backends.sgx import SgxEcallGate
+    from repro.hw.ept import AddressSpace
+
+    sgx_src = Compartment(0, CompartmentSpec("w", default=True), ["app"])
+    sgx_dst = Compartment(1, CompartmentSpec("e"), ["lwip"])
+    sgx_dst.address_space = AddressSpace("enclave")
+    gate = SgxEcallGate(sgx_src, sgx_dst, costs)
+    ctx = ExecutionContext(Clock(), costs, MMU(PhysicalMemory(), costs))
+    with ctx.clock.measure() as measured:
+        for _ in range(ROUNDS):
+            gate.call(ctx, "lwip", _noop, (), {})
+    latencies["sgx-ecall (extension)"] = measured.cycles / ROUNDS
+    return latencies
+
+
+def test_fig11b_gate_latencies(benchmark):
+    latencies = benchmark(run_latencies)
+    costs = CostModel.xeon_4114()
+    clock = Clock()
+    rows = [
+        {"gate": name,
+         "cycles (round trip)": "%.0f" % cycles,
+         "ns": "%.1f" % clock.cycles_to_ns(cycles)}
+        for name, cycles in latencies.items()
+    ]
+    text = format_table(rows, title="Figure 11b: gate latencies")
+    write_result("fig11b_gates", text)
+
+    # "MPK light gates are 80 % faster than normal MPK gates":
+    assert latencies["mpk"] / latencies["mpk-light"] == \
+        __import__("pytest").approx(1.8, rel=0.06)
+    # "...and 7.6x faster than EPT gates."
+    assert latencies["ept"] / latencies["mpk-light"] == \
+        __import__("pytest").approx(7.6, rel=0.12)
+    # "EPT latencies are similar to syscall latencies without KPTI."
+    assert abs(latencies["ept"] - latencies["syscall-nokpti"]) \
+        / latencies["syscall-nokpti"] < 0.1
+    # Ordering: function call < light < full < ept <= syscall w/ KPTI.
+    assert latencies["function call"] < latencies["mpk-light"] \
+        < latencies["mpk"] < latencies["ept"] <= latencies["syscall"]
+    # The SGX extension is the most expensive transition of all.
+    assert latencies["sgx-ecall (extension)"] > latencies["syscall"]

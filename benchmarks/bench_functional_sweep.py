@@ -1,0 +1,113 @@
+"""Cross-validation: a functional mini-Fig. 6 sweep.
+
+Runs the *functional* Redis server (real TCP bytes, real gates) under a
+representative subset of Fig. 6 configurations and checks that the
+functional ordering mirrors the analytic profile's ordering — the key
+validity argument for using profile mode in the 80-configuration sweeps.
+"""
+
+import pytest
+
+from benchmarks.common import write_result
+from repro.apps.base import evaluate_profile
+from repro.apps.host import HostEndpoint
+from repro.apps.redis import REDIS_GET_PROFILE, RedisApp, redis_benchmark_client
+from repro.bench import format_table
+from repro.core.config import CompartmentSpec, SafetyConfig
+from repro.core.hardening import FIG6_HARDENING
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.explore import generate_fig6_space
+from repro.hw.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.net.device import LinkedDevices
+
+N_REQUESTS = 30
+
+#: (name, isolated libs, hardened comp2?) — a slice of the Fig. 6 axes.
+SCENARIOS = (
+    ("A/none", (), False),
+    ("C/none", ("lwip",), False),
+    ("B/none", ("uksched",), False),
+    ("C/hardened", ("lwip",), True),
+)
+
+
+def build_scenario(isolate, hardened):
+    if not isolate:
+        specs = [CompartmentSpec("comp1", mechanism="none", default=True,
+                                 hardening=FIG6_HARDENING if hardened
+                                 else ())]
+        assignment = {}
+    else:
+        specs = [
+            CompartmentSpec("comp1", mechanism="intel-mpk", default=True),
+            CompartmentSpec("comp2", mechanism="intel-mpk",
+                            hardening=FIG6_HARDENING if hardened else ()),
+        ]
+        assignment = {lib: "comp2" for lib in isolate}
+    return SafetyConfig(specs, assignment)
+
+
+def run_one(isolate, hardened):
+    costs = CostModel.xeon_4114()
+    machine = Machine(costs)
+    link = LinkedDevices(costs)
+    instance = FlexOSInstance(
+        build_image(build_scenario(isolate, hardened)),
+        machine=machine, net_device=link.a,
+    ).boot()
+    host = HostEndpoint(link.b, "10.0.0.1", costs, machine.clock)
+    with instance.run():
+        server = RedisApp.make_server(instance)
+        sock = instance.libc.socket(instance.net).bind(6379).listen()
+        start = machine.clock.cycles
+        instance.sched.create_thread(
+            "redis", lambda: server.serve(sock, instance.libc, N_REQUESTS),
+        )
+        instance.sched.create_thread(
+            "bench", lambda: redis_benchmark_client(host, "10.0.0.2",
+                                                    6379, N_REQUESTS),
+        )
+        instance.sched.run()
+        elapsed = machine.clock.cycles - start
+    return elapsed / N_REQUESTS
+
+
+def analytic_cycles(name):
+    layout = next(l for l in generate_fig6_space()
+                  if l.name == name.replace("/hardened", "/lwip"))
+    return evaluate_profile(REDIS_GET_PROFILE, layout, DEFAULT_COSTS,
+                            "redis")["cycles"]
+
+
+def run_sweep():
+    return {
+        name: run_one(isolate, hardened)
+        for name, isolate, hardened in SCENARIOS
+    }
+
+
+def test_functional_mini_sweep(benchmark):
+    functional = benchmark(run_sweep)
+    rows = []
+    for name, _, _ in SCENARIOS:
+        rows.append({
+            "scenario": name,
+            "functional cycles/req": "%.0f" % functional[name],
+            "analytic cycles/req": "%.0f" % analytic_cycles(name),
+        })
+    text = format_table(
+        rows, title="Cross-validation: functional vs analytic Redis costs",
+    )
+    write_result("functional_sweep", text)
+
+    # The robust orderings hold functionally:
+    assert functional["A/none"] < functional["C/none"]       # lwip cut costs
+    assert functional["A/none"] < functional["B/none"]       # sched cut costs
+    assert functional["C/none"] < functional["C/hardened"]   # hardening costs
+    # Known divergence (documented in EXPERIMENTS.md): the functional
+    # socket layer is poll-mode, so every empty recv poll crosses the
+    # lwip boundary, making the B-vs-C order flip relative to the
+    # analytic profile calibrated to the paper's blocking-wait system.
+    analytic = {name: analytic_cycles(name) for name, _, _ in SCENARIOS}
+    assert analytic["C/none"] < analytic["B/none"]

@@ -1,0 +1,22 @@
+"""Table 1: porting effort — patch sizes and shared-variable counts."""
+
+from benchmarks.common import write_result
+from repro.bench import format_table
+from repro.porting import porting_effort_table
+
+
+def test_table1_porting_effort(benchmark):
+    rows = benchmark(porting_effort_table)
+    text = format_table(
+        rows,
+        title="Table 1: porting effort (paper columns + this repro)",
+    )
+    write_result("table1_porting", text)
+
+    by_name = {row["libs/apps"]: row for row in rows}
+    assert len(rows) == 8
+    # Paper values reproduced verbatim.
+    assert by_name["scheduler (uksched)"]["patch size"] == "+48 / -8"
+    assert by_name["SQLite"]["shared vars"] == 24
+    # Our toolchain's shape: network stack heaviest, time subsystem free.
+    assert by_name["time subsystem (uktime)"]["repro shared vars"] == 0

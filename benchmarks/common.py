@@ -1,0 +1,24 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the harness under pytest-benchmark (so the cost of reproducing the
+experiment itself is tracked), prints the reproduced rows/series, and
+writes them to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name, text):
+    """Persist and echo one experiment's reproduced output."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Use case: "As Secure as You can Afford" (Section 7).
+
+A service provider wants, at any moment, the *safest* configuration that
+still sustains the current client load.  With FlexOS, switching safety
+configurations is a rebuild, so an operator (or an autoscaler) can follow
+the load curve:
+
+* low traffic  -> run a heavily compartmentalised + hardened image;
+* peak traffic -> gracefully shed defenses down to what the SLA needs.
+
+The script sweeps a synthetic 24-hour Redis load curve; for every load
+level it asks the partial-safety-ordering explorer for the safest
+configuration sustaining that load, and prints the resulting schedule.
+"""
+
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.explore import explore, generate_fig6_space
+from repro.explore.formal import certify
+from repro.hw.costs import DEFAULT_COSTS
+
+#: Requests/s the service must sustain, hour by hour (a day's curve).
+LOAD_CURVE = [
+    (0, 220_000), (3, 180_000), (6, 300_000), (9, 540_000),
+    (12, 700_000), (15, 820_000), (18, 640_000), (21, 380_000),
+]
+
+
+def measure(layout):
+    return evaluate_profile(
+        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+    )["requests_per_second"]
+
+
+def safety_score(layout):
+    """A display-only score: compartments + hardened components."""
+    return layout.n_compartments * 10 + len(layout.hardened_components())
+
+
+def main():
+    layouts = generate_fig6_space()
+    print("%-6s %-12s %-24s %-10s %s"
+          % ("hour", "load", "chosen configuration", "sustains", "posture"))
+
+    previous = None
+    for hour, load in LOAD_CURVE:
+        result = explore(layouts, measure, budget=load)
+        assert certify(result).valid  # never trust the traversal blindly
+        if not result.recommended:
+            print("%-6d %-12d (no configuration sustains this load)"
+                  % (hour, load))
+            continue
+        # Among the safest candidates, pick the highest-scoring posture.
+        best = max(result.recommended,
+                   key=lambda name: safety_score(result.poset.layouts[name]))
+        layout = result.poset.layouts[best]
+        switch = "" if best == previous else "   <- rebuild + redeploy"
+        print("%-6d %-12d %-24s %-10.0f %d comps, %d hardened%s"
+              % (hour, load, best, result.measurements[best],
+                 layout.n_compartments,
+                 len(layout.hardened_components()), switch))
+        previous = best
+
+    print("\nUnder low load the fleet runs with maximum compartments and "
+          "hardening;\nas load rises, defenses are shed only as far as the "
+          "SLA requires —\nand every step is certified against the safety "
+          "partial order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""SQLite across operating systems (the Fig. 10 scenario).
+
+Runs the functional mini-SQLite on booted FlexOS instances (no isolation,
+MPK3 with filesystem | time | rest, EPT2 with filesystem | rest) and
+prices the same workload on the comparator OS models (Linux, SeL4/Genode,
+CubicleOS).  Prints execution times for 2000 single-INSERT transactions.
+"""
+
+from repro import CompartmentSpec, FlexOSInstance, Machine, SafetyConfig, build_image
+from repro.apps.sqlite import SQLITE_INSERT_PROFILE, SqliteApp, insert_benchmark
+from repro.baselines import (
+    CubicleOsBaseline,
+    LinuxBaseline,
+    Sel4GenodeBaseline,
+    UnikraftBaseline,
+)
+from repro.hw.costs import CostModel
+
+N_INSERTS = 2000
+
+
+def flexos_config(scenario):
+    if scenario == "NONE":
+        return SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="none", default=True)], {},
+        )
+    if scenario == "MPK3":
+        return SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="intel-mpk", default=True),
+             CompartmentSpec("fs", mechanism="intel-mpk"),
+             CompartmentSpec("time", mechanism="intel-mpk")],
+            {"vfscore": "fs", "ramfs": "fs", "uktime": "time"},
+        )
+    if scenario == "EPT2":
+        return SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="vm-ept", default=True),
+             CompartmentSpec("fs", mechanism="vm-ept")],
+            {"vfscore": "fs", "ramfs": "fs"},
+        )
+    raise ValueError(scenario)
+
+
+def run_functional(scenario):
+    """Boot the image and actually execute the INSERTs."""
+    instance = FlexOSInstance(build_image(flexos_config(scenario)),
+                              machine=Machine()).boot()
+    start = instance.clock.seconds
+    with instance.run():
+        engine = SqliteApp.make_engine(instance)
+        count = insert_benchmark(engine, N_INSERTS)
+    assert count == N_INSERTS
+    return instance.clock.seconds - start, instance.gate_crossings()
+
+
+def main():
+    costs = CostModel.xeon_4114()
+    print("functional FlexOS runs (%d INSERTs, one txn each):" % N_INSERTS)
+    base_time = None
+    for scenario in ("NONE", "MPK3", "EPT2"):
+        seconds, crossings = run_functional(scenario)
+        if base_time is None:
+            base_time = seconds
+        print("  flexos %-5s %8.2f ms   %6.2fx   %d domain crossings"
+              % (scenario, seconds * 1e3, seconds / base_time, crossings))
+
+    print("\ncomparator OS models (per-operation mechanism taxes):")
+    for baseline in (UnikraftBaseline("kvm"), LinuxBaseline(),
+                     Sel4GenodeBaseline(), UnikraftBaseline("linuxu"),
+                     CubicleOsBaseline(1), CubicleOsBaseline(2),
+                     CubicleOsBaseline(3)):
+        seconds = baseline.run_workload(SQLITE_INSERT_PROFILE, costs,
+                                        N_INSERTS)
+        print("  %-18s %8.2f ms" % (baseline.name, seconds * 1e3))
+
+    print("\nShape to look for (Fig. 10): FlexOS-none == Unikraft, "
+          "MPK3 ~ 2x, EPT2 ~ Linux, SeL4 slower, CubicleOS ~ 10x slower.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""FlexOS reproduction: flexible OS isolation, simulated in Python.
+
+Reproduces *FlexOS: Towards Flexible OS Isolation* (Lefeuvre et al.,
+ASPLOS 2022): a library OS whose compartmentalization strategy, isolation
+mechanisms, data-sharing strategies and per-compartment software hardening
+are decided at build time, plus the partial-safety-ordering design-space
+explorer.
+
+Quickstart::
+
+    from repro import CompartmentSpec, SafetyConfig, build_image, FlexOSInstance
+
+    config = SafetyConfig(
+        [CompartmentSpec("comp1", mechanism="intel-mpk", default=True),
+         CompartmentSpec("comp2", mechanism="intel-mpk")],
+        {"lwip": "comp2"},
+    )
+    instance = FlexOSInstance(build_image(config)).boot()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables/figures.
+"""
+
+from repro.core import (
+    CompartmentSpec,
+    FlexOSInstance,
+    Image,
+    Machine,
+    SafetyConfig,
+    build_image,
+    loads_config,
+)
+from repro.core.hardening import Hardening
+from repro.core.tcb import TcbReport
+from repro.errors import ProtectionFault, ReproError
+from repro.hw import Clock, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clock",
+    "CompartmentSpec",
+    "CostModel",
+    "FlexOSInstance",
+    "Hardening",
+    "Image",
+    "Machine",
+    "ProtectionFault",
+    "ReproError",
+    "SafetyConfig",
+    "TcbReport",
+    "build_image",
+    "loads_config",
+]

@@ -1,0 +1,35 @@
+"""Ported applications (Section 4.4, Section 6).
+
+Four applications, as in the paper: Redis, Nginx, SQLite and iPerf.  Each
+app provides:
+
+* a **functional implementation** — a real server running on the kernel
+  substrate (Redis answers RESP commands over the TCP stack, SQLite
+  executes INSERTs through the VFS) under any built image;
+* a **request profile** — per-request component work and cross-component
+  communication counts, validated against the functional path and used by
+  the large configuration sweeps (Figs. 6-8);
+* a **port manifest** — the Table 1 porting-effort record.
+"""
+
+from repro.apps.base import (
+    ComponentLayout,
+    PortManifest,
+    RequestProfile,
+    evaluate_profile,
+)
+from repro.apps.iperf import IperfApp
+from repro.apps.nginx import NginxApp
+from repro.apps.redis import RedisApp
+from repro.apps.sqlite import SqliteApp
+
+__all__ = [
+    "ComponentLayout",
+    "IperfApp",
+    "NginxApp",
+    "PortManifest",
+    "RedisApp",
+    "RequestProfile",
+    "SqliteApp",
+    "evaluate_profile",
+]

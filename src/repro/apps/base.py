@@ -1,0 +1,228 @@
+"""Application base machinery: profiles, layouts, port manifests.
+
+The Fig. 6 sweeps evaluate 80 configurations per application.  Running the
+full functional substrate for each would be needlessly slow, so each app
+carries a :class:`RequestProfile` — per-request work per component and
+cross-component call counts — measured from (and unit-validated against)
+the functional path.  :func:`evaluate_profile` prices a profile under a
+:class:`ComponentLayout` (a compartment partition + per-component
+hardening), using exactly the same gate and hardening cost models the
+functional runtime charges.
+
+Model (cycles per request)::
+
+    total = sum_c work[c] * hardening_multiplier(c)
+          + sum_pairs crossings[a,b] * (2 * gate_one_way
+                                        + sharing_cost
+                                        + marshal(a, b))
+
+where ``marshal(a, b) = marshal_base + interaction * mean(extra_mult)``
+models shared-data marshalling that is itself instrumented when either
+endpoint is hardened (KASan checks every shared-buffer copy).
+"""
+
+from __future__ import annotations
+
+from repro.core.hardening import work_multiplier
+from repro.errors import ConfigError
+
+#: The four components the Fig. 6 sweeps isolate/harden, in display order.
+COMPONENTS = ("lwip", "newlib", "uksched", "app")
+
+
+class RequestProfile:
+    """Per-request cost profile of one application."""
+
+    def __init__(self, name, work, crossings, marshal_base=23.0,
+                 marshal_interaction=250.0, shared_vars_per_crossing=2,
+                 alloc_pairs=0, fs_ops=0, time_ops=0, payload_bytes=0):
+        """
+        Args:
+            name: profile label (e.g. ``redis-get``).
+            work: {component: cycles} of pure computation per request.
+            crossings: {(comp_a, comp_b): round-trips} per request.  Keys
+                are unordered pairs; counts are full call+return trips.
+            marshal_base: per-crossing shared-data marshalling cycles.
+            marshal_interaction: marshalling cycles added per unit of
+                endpoint hardening overhead (instrumented copies).
+            shared_vars_per_crossing: shared stack variables allocated per
+                crossing (priced by the sharing strategy).
+            alloc_pairs: heap malloc+free pairs per request.
+            fs_ops / time_ops: filesystem / time-subsystem calls per
+                request (used by the SQLite scenario and the baselines).
+            payload_bytes: application payload moved per request.
+        """
+        self.name = name
+        self.work = dict(work)
+        self.crossings = {frozenset(k): v for k, v in crossings.items()}
+        for key in self.crossings:
+            if len(key) != 2:
+                raise ConfigError("crossing key %s is not a pair" % set(key))
+        self.marshal_base = marshal_base
+        self.marshal_interaction = marshal_interaction
+        self.shared_vars_per_crossing = shared_vars_per_crossing
+        self.alloc_pairs = alloc_pairs
+        self.fs_ops = fs_ops
+        self.time_ops = time_ops
+        self.payload_bytes = payload_bytes
+
+    @property
+    def base_cycles(self):
+        """Cycles per request with no isolation and no hardening."""
+        return sum(self.work.values())
+
+    def communicating_pairs(self):
+        return set(self.crossings)
+
+    def __repr__(self):
+        return "RequestProfile(%s, base=%.0f cycles)" % (
+            self.name, self.base_cycles,
+        )
+
+
+class ComponentLayout:
+    """A sweep point: component partition + per-component hardening.
+
+    ``partition`` is an iterable of component groups; the first group is
+    the default compartment.  ``hardening`` maps component name to a
+    hardening frozenset.
+    """
+
+    def __init__(self, name, partition, hardening=None, mechanism="intel-mpk",
+                 mpk_gate="full", sharing="dss"):
+        self.name = name
+        self.partition = tuple(frozenset(group) for group in partition)
+        seen = set()
+        for group in self.partition:
+            if seen & group:
+                raise ConfigError("component in two groups: %s"
+                                  % sorted(seen & group))
+            seen |= group
+        self.hardening = {k: frozenset(v)
+                          for k, v in (hardening or {}).items()}
+        self.mechanism = mechanism
+        self.mpk_gate = mpk_gate
+        self.sharing = sharing
+
+    @property
+    def n_compartments(self):
+        return len(self.partition)
+
+    def group_of(self, component):
+        for index, group in enumerate(self.partition):
+            if component in group:
+                return index
+        return 0  # unlisted components live in the default group
+
+    def separated(self, comp_a, comp_b):
+        return self.group_of(comp_a) != self.group_of(comp_b)
+
+    def hardening_of(self, component):
+        return self.hardening.get(component, frozenset())
+
+    def hardened_components(self):
+        return {c for c, h in self.hardening.items() if h}
+
+    def __repr__(self):
+        return "ComponentLayout(%s, %d comps, hardened=%s)" % (
+            self.name, self.n_compartments,
+            sorted(self.hardened_components()),
+        )
+
+
+def _sharing_cost_per_crossing(layout, profile, costs):
+    """Price the shared stack variables one crossing materialises."""
+    n = profile.shared_vars_per_crossing
+    if layout.sharing == "dss":
+        return n * costs.dss_alloc
+    if layout.sharing == "shared-stack":
+        return n * costs.stack_alloc
+    if layout.sharing == "heap":
+        return n * (costs.heap_alloc_fast + costs.heap_free_fast)
+    raise ConfigError("unknown sharing strategy %r" % layout.sharing)
+
+
+def _component_multiplier(component, hardening_set, app_library):
+    library = app_library if component == "app" else component
+    return work_multiplier(library, hardening_set)
+
+
+def evaluate_profile(profile, layout, costs, app_library="app"):
+    """Cycles per request for ``profile`` under ``layout``.
+
+    Returns a dict with ``cycles``, ``work_cycles``, ``gate_cycles`` and
+    ``requests_per_second`` (at the cost model's reference 2.2 GHz).
+    """
+    multipliers = {
+        component: _component_multiplier(
+            component, layout.hardening_of(component), app_library,
+        )
+        for component in set(profile.work) | {"app"}
+    }
+
+    work_cycles = sum(
+        cycles * multipliers.get(component, 1.0)
+        for component, cycles in profile.work.items()
+    )
+
+    gate_cycles = 0.0
+    light = layout.mpk_gate == "light"
+    sharing_cost = _sharing_cost_per_crossing(layout, profile, costs)
+    for pair, round_trips in profile.crossings.items():
+        comp_a, comp_b = tuple(pair)
+        if not layout.separated(comp_a, comp_b):
+            continue
+        one_way = costs.gate_one_way(layout.mechanism, light=light)
+        extra = (
+            (multipliers.get(comp_a, 1.0) - 1.0)
+            + (multipliers.get(comp_b, 1.0) - 1.0)
+        ) / 2.0
+        marshal = profile.marshal_base + profile.marshal_interaction * extra
+        gate_cycles += round_trips * (2.0 * one_way + sharing_cost + marshal)
+
+    alloc_cycles = profile.alloc_pairs * (
+        costs.heap_alloc_fast + costs.heap_free_fast
+    )
+
+    total = work_cycles + gate_cycles + alloc_cycles
+    from repro.hw.clock import XEON_4114_HZ
+
+    return {
+        "cycles": total,
+        "work_cycles": work_cycles,
+        "gate_cycles": gate_cycles,
+        "requests_per_second": XEON_4114_HZ / total,
+    }
+
+
+class PortManifest:
+    """The Table 1 porting-effort record of one library or application."""
+
+    def __init__(self, name, paper_added, paper_removed, paper_shared_vars,
+                 porting_time=""):
+        self.name = name
+        self.paper_added = paper_added
+        self.paper_removed = paper_removed
+        self.paper_shared_vars = paper_shared_vars
+        self.porting_time = porting_time
+
+    def row(self):
+        return {
+            "libs/apps": self.name,
+            "patch size": "+%d / -%d" % (self.paper_added,
+                                         self.paper_removed),
+            "shared vars": self.paper_shared_vars,
+        }
+
+
+#: Table 1, verbatim from the paper.
+PAPER_PORTING_TABLE = (
+    PortManifest("TCP/IP stack (LwIP)", 542, 275, 23, "2-5 days"),
+    PortManifest("scheduler (uksched)", 48, 8, 5),
+    PortManifest("filesystem (ramfs, vfscore)", 148, 37, 12, "2-5 days"),
+    PortManifest("time subsystem (uktime)", 10, 9, 0, "10 minutes"),
+    PortManifest("Redis", 279, 90, 16),
+    PortManifest("Nginx", 470, 85, 36),
+    PortManifest("SQLite", 199, 145, 24),
+    PortManifest("iPerf", 15, 14, 4),
+)

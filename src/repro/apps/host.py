@@ -1,0 +1,100 @@
+"""Host-side load generators.
+
+The paper pins benchmark clients (redis-benchmark, wrk, the iPerf client)
+to dedicated host cores: their work does not count against the system
+under test.  :class:`HostEndpoint` is that client machine — it owns its
+own network stack over the peer device and performs every operation under
+:func:`repro.hw.cpu.host_side`, so nothing is charged to the instance's
+clock and nothing is routed through its gates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.hw.cpu import host_side
+from repro.kernel.net import NetworkStack, Socket
+from repro.kernel.sched import yield_
+
+
+class HostEndpoint:
+    """A client host on the other end of the link."""
+
+    def __init__(self, device, ip, costs, clock):
+        with host_side():
+            self.stack = NetworkStack(device, ip, costs, clock)
+
+    # -- atomic (non-yielding) operations ------------------------------------
+    def socket(self):
+        with host_side():
+            return Socket(self.stack)
+
+    def connect_start(self, sock, ip, port):
+        with host_side():
+            sock.connect_start(ip, port)
+
+    def connected(self, sock):
+        with host_side():
+            self.stack.pump()
+            return sock.connected
+
+    def send(self, sock, payload):
+        with host_side():
+            return sock.send(payload)
+
+    def try_recv(self, sock, max_bytes):
+        with host_side():
+            return sock.try_recv(max_bytes)
+
+    def pump(self):
+        with host_side():
+            return self.stack.pump()
+
+    def close(self, sock):
+        with host_side():
+            sock.close()
+
+    # -- generator helpers for scheduler-driven clients -----------------------
+    def connect_blocking(self, sock, ip, port, max_polls=100_000):
+        """Generator: connect and wait for ESTABLISHED."""
+        self.connect_start(sock, ip, port)
+        polls = 0
+        while not self.connected(sock):
+            polls += 1
+            if polls > max_polls:
+                raise NetworkError("host connect stalled")
+            yield yield_()
+        return sock
+
+    def recv_exactly(self, sock, n_bytes, max_polls=100_000):
+        """Generator: receive exactly ``n_bytes``."""
+        chunks = []
+        received = 0
+        polls = 0
+        while received < n_bytes:
+            data = self.try_recv(sock, n_bytes - received)
+            if data:
+                chunks.append(data)
+                received += len(data)
+                continue
+            polls += 1
+            if polls > max_polls:
+                raise NetworkError(
+                    "host recv stalled at %d/%d bytes" % (received, n_bytes)
+                )
+            yield yield_()
+        return b"".join(chunks)
+
+    def recv_until(self, sock, delimiter=b"\r\n", max_polls=100_000):
+        """Generator: receive until ``delimiter`` appears."""
+        buffer = bytearray()
+        polls = 0
+        while delimiter not in buffer:
+            data = self.try_recv(sock, 4096)
+            if data:
+                buffer.extend(data)
+                continue
+            polls += 1
+            if polls > max_polls:
+                raise NetworkError("host recv_until stalled")
+            yield yield_()
+        return bytes(buffer)

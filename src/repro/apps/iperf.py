@@ -1,0 +1,135 @@
+"""iPerf, ported to FlexOS (Section 6.3).
+
+Functional mode: a byte-sink server that calls ``recv`` with a
+configurable buffer size until a target volume has arrived — "we
+configure the iPerf server to pass buffers of varying sizes when calling
+recv on the socket".
+
+Analytic mode: the per-recv cost model behind Fig. 9.  The fixed
+compartmentalization matches the paper: the iPerf application code in one
+compartment, the rest of the system (including the network stack) in a
+second one, no hardening.  Each ``recv`` call costs two domain round
+trips (the call into the socket layer and the wake-up path), so small
+buffers expose gate latency and large buffers amortise it — the batching
+effect the figure demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import PortManifest, RequestProfile
+from repro.hw.clock import XEON_4114_HZ
+from repro.kernel.lib import entrypoint, register_library, work
+from repro.kernel.net.tcp import MSS
+
+register_library("iperf", role="user", loc=800)
+
+PORT_MANIFEST = PortManifest("iPerf", 15, 14, 4)
+
+#: Buffer sizes swept by the Fig. 9 benchmark (16 B .. 256 KiB).
+FIG9_BUFFER_SIZES = tuple(16 << i for i in range(15))
+
+#: The five setups in Fig. 9.
+FIG9_SETUPS = ("unikraft", "flexos-none", "flexos-mpk-light",
+               "flexos-mpk-dss", "flexos-ept")
+
+#: Per-recv cost components.
+RECV_FIXED = 500.0        # socket-layer bookkeeping per call
+COPY_PER_BYTE = 0.125     # copy into the stack + copy to the app buffer
+ROUND_TRIPS_PER_RECV = 2  # app <-> rest crossings per recv call
+
+IPERF_PROFILE = RequestProfile(
+    "iperf-recv",
+    work={"lwip": 600.0, "newlib": 200.0, "uksched": 80.0, "app": 120.0},
+    crossings={("app", "newlib"): 1, ("newlib", "lwip"): 1},
+    payload_bytes=1460,
+)
+
+
+def recv_cycles(buffer_size, setup, costs):
+    """Cycles one recv() of ``buffer_size`` bytes costs under ``setup``."""
+    segments = max(1, math.ceil(buffer_size / MSS))
+    base = (
+        RECV_FIXED
+        + segments * costs.tcp_segment
+        + buffer_size * COPY_PER_BYTE
+    )
+    if setup in ("unikraft", "flexos-none"):
+        return base
+    if setup == "flexos-mpk-light":
+        gate = costs.gate_mpk_light
+        sharing = 2 * costs.stack_alloc           # stack fully shared
+    elif setup == "flexos-mpk-dss":
+        gate = costs.gate_mpk_full
+        sharing = 2 * costs.dss_alloc             # protected stack + DSS
+    elif setup == "flexos-ept":
+        gate = costs.gate_ept
+        sharing = 16 * costs.memcpy_per_byte      # descriptor in ivshmem
+    else:
+        raise ValueError("unknown iPerf setup %r" % setup)
+    return base + ROUND_TRIPS_PER_RECV * (2.0 * gate) + sharing
+
+
+def throughput_gbps(buffer_size, setup, costs):
+    """Achieved goodput in Gb/s for one setup and buffer size."""
+    cycles = recv_cycles(buffer_size, setup, costs)
+    seconds = cycles / XEON_4114_HZ
+    return buffer_size * 8 / seconds / 1e9
+
+
+class IperfServer:
+    """The functional byte sink."""
+
+    #: Application work per recv call (counter updates, report math).
+    RECV_WORK = 120.0
+
+    def __init__(self, instance):
+        self.instance = instance
+        self.bytes_received = 0
+        self.recv_calls = 0
+
+    @entrypoint("iperf")
+    def account(self, n_bytes):
+        work(self.RECV_WORK)
+        self.recv_calls += 1
+        self.bytes_received += n_bytes
+
+    def serve(self, sock, libc, total_bytes, buffer_size):
+        """Generator: accept one sender, sink ``total_bytes``."""
+        client = yield from libc.accept_blocking(sock)
+        while self.bytes_received < total_bytes:
+            data = yield from libc.recv_blocking(client, buffer_size)
+            if not data:
+                break
+            self.account(len(data))
+        client.close()
+        return self.bytes_received
+
+
+class IperfApp:
+    name = "iperf"
+    library = "iperf"
+    profile = IPERF_PROFILE
+    manifest = PORT_MANIFEST
+
+    @staticmethod
+    def make_server(instance):
+        return IperfServer(instance)
+
+
+def iperf_client(host, server_ip, port, total_bytes, chunk=MSS):
+    """Generator: the iPerf sender."""
+    sock = host.socket()
+    yield from host.connect_blocking(sock, server_ip, port)
+    sent = 0
+    payload = b"\xAA" * chunk
+    while sent < total_bytes:
+        to_send = min(chunk, total_bytes - sent)
+        host.send(sock, payload[:to_send])
+        sent += to_send
+        # Let the server drain (flow control in the cooperative model).
+        from repro.kernel.sched import yield_
+        yield yield_()
+    host.close(sock)
+    return sent

@@ -1,0 +1,175 @@
+"""Redis, ported to FlexOS.
+
+Functional mode: a key-value server speaking a RESP-like inline protocol
+(``SET key value`` / ``GET key`` / ``DEL key`` / ``PING``) over the TCP
+stack, with the database held in the application compartment (reading it
+from another compartment faults, as the porting workflow expects).
+
+Profile mode: the redis-benchmark GET profile used by the Fig. 6 sweep,
+calibrated to the paper's anchors — isolating lwip alone costs ~11 %,
+isolating the scheduler ~43 %, hardening the scheduler ~24 %, hardening
+the application code ~42 %, and lwip never talks to the scheduler
+directly (the "isolation for free" cut).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import PortManifest, RequestProfile
+from repro.kernel.lib import entrypoint, register_library, work
+
+register_library("redis", role="user", loc=3200)
+
+#: redis-benchmark GET, pipelined: per-request cycles by component.
+REDIS_GET_PROFILE = RequestProfile(
+    "redis-get",
+    work={"lwip": 380.0, "newlib": 134.0, "uksched": 510.0, "app": 1558.0},
+    crossings={
+        ("newlib", "lwip"): 2,    # socket recv + send per request
+        ("app", "uksched"): 10,   # wake-ups, yields, timer maintenance
+        ("app", "newlib"): 12,    # str/alloc traffic (never cut in Fig. 6)
+        # NOTE: no ("lwip", "uksched") edge — the paper's "isolation for
+        # free" observation depends on this cut being cold.
+    },
+    alloc_pairs=0,
+    payload_bytes=64,
+)
+
+PORT_MANIFEST = PortManifest("Redis", 279, 90, 16)
+
+
+class RedisServer:
+    """The ported Redis: parser + hash-table engine."""
+
+    #: Cycles of application work per simple command (parse + dispatch +
+    #: hash lookup), charged at the app compartment's hardening rate.
+    COMMAND_WORK = 900.0
+
+    def __init__(self, instance):
+        self.instance = instance
+        # The database object lives in the redis compartment's private
+        # data section: code in other compartments cannot touch it.
+        self.db_object = instance.private_object("redis", "redis_db",
+                                                 value={})
+        self.commands = 0
+
+    # -- engine ---------------------------------------------------------------
+    @entrypoint("redis")
+    def execute(self, line):
+        """Execute one inline command; returns the RESP reply bytes."""
+        from repro.hw.cpu import current_context
+
+        ctx = current_context()
+        work(self.COMMAND_WORK)
+        self.commands += 1
+        parts = line.strip().split()
+        if not parts:
+            return b"-ERR empty command\r\n"
+        op = parts[0].upper()
+        db = self.db_object.read(ctx)
+        if op == b"PING":
+            return b"+PONG\r\n"
+        if op == b"SET" and len(parts) == 3:
+            db[parts[1]] = parts[2]
+            self.db_object.write(ctx, db)
+            return b"+OK\r\n"
+        if op == b"GET" and len(parts) == 2:
+            value = db.get(parts[1])
+            if value is None:
+                return b"$-1\r\n"
+            return b"$%d\r\n%s\r\n" % (len(value), value)
+        if op == b"DEL" and len(parts) == 2:
+            existed = parts[1] in db
+            db.pop(parts[1], None)
+            self.db_object.write(ctx, db)
+            return b":%d\r\n" % int(existed)
+        return b"-ERR unknown command %s\r\n" % op
+
+    # -- server loop ------------------------------------------------------------
+    def serve(self, sock, libc, n_requests):
+        """Generator (a scheduler thread body): accept one client and
+        serve ``n_requests`` commands."""
+        client = yield from libc.accept_blocking(sock)
+        buffer = bytearray()
+        served = 0
+        while served < n_requests:
+            if b"\r\n" not in buffer:
+                data = yield from libc.recv_blocking(client, 4096)
+                if not data:
+                    break
+                buffer.extend(data)
+                continue
+            line, _, rest = bytes(buffer).partition(b"\r\n")
+            buffer = bytearray(rest)
+            reply = self.execute(line)
+            libc.send(client, reply)
+            served += 1
+        client.close()
+        return served
+
+
+    def serve_connections(self, sock, libc, sched, n_connections,
+                          requests_per_connection):
+        """Generator: the multi-client acceptor loop.
+
+        Accepts ``n_connections`` clients and spawns one handler thread
+        per connection (Redis 6-style I/O threading on the cooperative
+        scheduler).
+        """
+        for index in range(n_connections):
+            client = yield from libc.accept_blocking(sock)
+            sched.create_thread(
+                "redis-conn-%d" % index,
+                self._connection_handler(client, libc,
+                                         requests_per_connection),
+            )
+        return n_connections
+
+    def _connection_handler(self, client, libc, n_requests):
+        def handler():
+            buffer = bytearray()
+            served = 0
+            while served < n_requests:
+                if b"\r\n" not in buffer:
+                    data = yield from libc.recv_blocking(client, 4096)
+                    if not data:
+                        break
+                    buffer.extend(data)
+                    continue
+                line, _, rest = bytes(buffer).partition(b"\r\n")
+                buffer = bytearray(rest)
+                libc.send(client, self.execute(line))
+                served += 1
+            client.close()
+            return served
+        return handler
+
+
+class RedisApp:
+    """Bundles the Redis port: profile, manifest, functional server."""
+
+    name = "redis"
+    library = "redis"
+    profile = REDIS_GET_PROFILE
+    manifest = PORT_MANIFEST
+
+    @staticmethod
+    def make_server(instance):
+        return RedisServer(instance)
+
+
+def redis_benchmark_client(host, server_ip, port, n_requests,
+                           key=b"mykey", value=b"x" * 3):
+    """Generator: the redis-benchmark GET loop (one SET, then GETs)."""
+    sock = host.socket()
+    yield from host.connect_blocking(sock, server_ip, port)
+    host.send(sock, b"SET %s %s\r\n" % (key, value))
+    yield from host.recv_until(sock)
+    replies = 0
+    for _ in range(n_requests - 1):
+        host.send(sock, b"GET %s\r\n" % key)
+        reply = yield from host.recv_until(sock)
+        if not reply.startswith(b"$"):
+            raise AssertionError("unexpected redis reply %r" % reply)
+        replies += 1
+    host.close(sock)
+    return replies

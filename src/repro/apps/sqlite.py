@@ -1,0 +1,249 @@
+"""SQLite, ported to FlexOS.
+
+Functional mode: a miniature SQL engine — ``CREATE TABLE``, ``INSERT``,
+``SELECT`` (with ``COUNT(*)`` and ``WHERE col = value``) — over a real
+pager that stores fixed-size pages in the VFS and implements SQLite's
+rollback-journal transaction protocol: every transaction creates a
+journal file, backs up the original page, syncs, writes the database
+page, syncs again, and deletes the journal.  With one INSERT per
+transaction (the Fig. 10 workload: "to increase pressure on the
+filesystem, each query is in a separate transaction") that is six VFS
+operations plus two time-subsystem reads per INSERT.
+
+Profile mode: the per-transaction profile used by the Fig. 10 comparison
+(MPK3 isolates filesystem | time | rest; EPT2/PT2 isolate filesystem |
+rest).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import PortManifest, RequestProfile
+from repro.errors import ConfigError
+from repro.kernel.fs.vfs import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.kernel.lib import entrypoint, register_library, work
+
+register_library("sqlite", role="user", loc=5400)
+
+#: Per-INSERT-transaction profile.  "filesystem" aggregates vfscore+ramfs
+#: work (the paper isolates them together), "time" is uktime.
+SQLITE_INSERT_PROFILE = RequestProfile(
+    "sqlite-insert",
+    work={"app": 546.0, "filesystem": 600.0, "uktime": 50.0,
+          "newlib": 100.0},
+    crossings={
+        ("app", "filesystem"): 6,  # open, write, fsync, write, fsync, unlink
+        ("app", "uktime"): 2,      # txn begin/commit timestamps
+    },
+    # Journal pages cross the boundary through shared buffers, so the
+    # per-crossing marshalling is heavier than for byte-sized arguments.
+    marshal_base=160.0,
+    fs_ops=6,
+    time_ops=2,
+    alloc_pairs=10,
+)
+
+PORT_MANIFEST = PortManifest("SQLite", 199, 145, 24)
+
+PAGE_SIZE = 4096
+
+
+class Pager:
+    """Fixed-size-page storage with a rollback journal."""
+
+    def __init__(self, vfs, path):
+        self.vfs = vfs
+        self.path = path
+        self.journal_path = path + "-journal"
+        fd = vfs.open(path, O_RDWR | O_CREAT)
+        vfs.close(fd)
+        self.journal_writes = 0
+        self.rollbacks = 0
+
+    # -- raw page IO ---------------------------------------------------------
+    def read_page(self, page_no):
+        fd = self.vfs.open(self.path, O_RDONLY)
+        self.vfs.lseek(fd, page_no * PAGE_SIZE)
+        data = self.vfs.read(fd, PAGE_SIZE)
+        self.vfs.close(fd)
+        if len(data) < PAGE_SIZE:
+            data += b"\x00" * (PAGE_SIZE - len(data))
+        return data
+
+    def write_page(self, page_no, data):
+        if len(data) != PAGE_SIZE:
+            raise ConfigError("page must be %d bytes" % PAGE_SIZE)
+        fd = self.vfs.open(self.path, O_RDWR)
+        self.vfs.lseek(fd, page_no * PAGE_SIZE)
+        self.vfs.write(fd, data)
+        self.vfs.close(fd)
+
+    # -- the journal protocol -------------------------------------------------
+    def begin(self, page_no):
+        """Open a transaction touching ``page_no``: journal the original."""
+        original = self.read_page(page_no)
+        fd = self.vfs.open(self.journal_path, O_WRONLY | O_CREAT)
+        self.vfs.write(fd, page_no.to_bytes(4, "big") + original)
+        self.vfs.fsync(fd)
+        self.vfs.close(fd)
+        self.journal_writes += 1
+
+    def commit(self, page_no, new_data):
+        """Write the page durably and discard the journal."""
+        self.write_page(page_no, new_data)
+        fd = self.vfs.open(self.path, O_RDONLY)
+        self.vfs.fsync(fd)
+        self.vfs.close(fd)
+        self.vfs.unlink(self.journal_path)
+
+    def rollback(self):
+        """Restore the journaled page (crash-recovery path)."""
+        if not self.vfs.exists(self.journal_path):
+            return False
+        fd = self.vfs.open(self.journal_path, O_RDONLY)
+        raw = self.vfs.read(fd, 4 + PAGE_SIZE)
+        self.vfs.close(fd)
+        page_no = int.from_bytes(raw[:4], "big")
+        self.write_page(page_no, raw[4:4 + PAGE_SIZE])
+        self.vfs.unlink(self.journal_path)
+        self.rollbacks += 1
+        return True
+
+    @property
+    def in_transaction(self):
+        return self.vfs.exists(self.journal_path)
+
+
+class Table:
+    """One table: schema + row storage across pages."""
+
+    ROW_BYTES = 64
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows = []
+
+    def encode_row(self, values):
+        joined = "\x1f".join(str(v) for v in values).encode()
+        if len(joined) > self.ROW_BYTES - 2:
+            joined = joined[:self.ROW_BYTES - 2]
+        return len(joined).to_bytes(2, "big") + joined.ljust(
+            self.ROW_BYTES - 2, b"\x00"
+        )
+
+
+class SqliteEngine:
+    """The mini SQL engine with journaled durability."""
+
+    #: Application-side work per statement (tokenise, plan, b-tree).
+    STATEMENT_WORK = 546.0
+
+    def __init__(self, instance, path="/db.sqlite"):
+        self.instance = instance
+        self.vfs = instance.vfs
+        self.time = instance.time
+        self.pager = Pager(self.vfs, path)
+        self.tables = {}
+        self.statements = 0
+
+    @entrypoint("sqlite")
+    def execute(self, sql):
+        """Execute one SQL statement; returns rows / count / None."""
+        work(self.STATEMENT_WORK)
+        self.statements += 1
+        text = sql.strip().rstrip(";")
+        lowered = text.lower()
+        if lowered.startswith("create table"):
+            return self._create(text)
+        if lowered.startswith("insert into"):
+            return self._insert(text)
+        if lowered.startswith("select"):
+            return self._select(text)
+        raise ConfigError("unsupported SQL: %r" % sql)
+
+    # -- statements -----------------------------------------------------------
+    def _create(self, text):
+        inner = text[len("create table"):].strip()
+        name, _, cols = inner.partition("(")
+        columns = [c.strip().split()[0] for c in cols.rstrip(")").split(",")]
+        table = Table(name.strip(), columns)
+        self.tables[table.name] = table
+        return None
+
+    def _table(self, name):
+        table = self.tables.get(name)
+        if table is None:
+            raise ConfigError("no such table: %s" % name)
+        return table
+
+    def _insert(self, text):
+        inner = text[len("insert into"):].strip()
+        name, _, rest = inner.partition("(")
+        name = name.strip().split()[0]
+        table = self._table(name)
+        values_part = text.lower().index("values")
+        raw = text[values_part + len("values"):].strip().strip("()")
+        values = [v.strip().strip("'\"") for v in raw.split(",")]
+        if len(values) != len(table.columns):
+            raise ConfigError(
+                "INSERT arity mismatch: %d values for %d columns"
+                % (len(values), len(table.columns))
+            )
+        # One transaction per statement (the Fig. 10 workload shape):
+        # timestamps, journal, page write, sync, journal unlink.
+        self.time.monotonic_ns()
+        row_index = len(table.rows)
+        rows_per_page = PAGE_SIZE // Table.ROW_BYTES
+        page_no = 1 + row_index // rows_per_page
+        self.pager.begin(page_no)
+        page = bytearray(self.pager.read_page(page_no))
+        offset = (row_index % rows_per_page) * Table.ROW_BYTES
+        page[offset:offset + Table.ROW_BYTES] = table.encode_row(values)
+        self.pager.commit(page_no, bytes(page))
+        table.rows.append(tuple(values))
+        self.time.monotonic_ns()
+        return 1
+
+    def _select(self, text):
+        lowered = text.lower()
+        from_idx = lowered.index("from")
+        what = text[len("select"):from_idx].strip()
+        rest = text[from_idx + len("from"):].strip()
+        where_idx = rest.lower().find("where")
+        if where_idx >= 0:
+            name, where = rest[:where_idx], rest[where_idx + len("where"):]
+        else:
+            name, where = rest, ""
+        table = self._table(name.strip())
+        rows = table.rows
+        if where.strip():
+            column, _, value = where.partition("=")
+            column = column.strip()
+            value = value.strip().strip("'\"")
+            if column not in table.columns:
+                raise ConfigError("no column %r in %s" % (column, table.name))
+            idx = table.columns.index(column)
+            rows = [r for r in rows if r[idx] == value]
+        if what.lower().replace(" ", "") == "count(*)":
+            return len(rows)
+        return list(rows)
+
+
+class SqliteApp:
+    name = "sqlite"
+    library = "sqlite"
+    profile = SQLITE_INSERT_PROFILE
+    manifest = PORT_MANIFEST
+
+    @staticmethod
+    def make_engine(instance, path="/db.sqlite"):
+        return SqliteEngine(instance, path=path)
+
+
+def insert_benchmark(engine, n_inserts, table="kv"):
+    """Run the Fig. 10 workload: n INSERTs, one transaction each."""
+    engine.execute("CREATE TABLE %s (k, v)" % table)
+    for i in range(n_inserts):
+        engine.execute("INSERT INTO %s (k, v) VALUES (%d, 'val%d')"
+                       % (table, i, i))
+    return engine.execute("SELECT COUNT(*) FROM %s" % table)

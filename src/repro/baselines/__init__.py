@@ -1,0 +1,28 @@
+"""Baseline operating systems the paper compares against (Fig. 10, 11b).
+
+Each baseline charges the per-operation taxes the paper attributes to it:
+
+* :class:`~repro.baselines.unikraft.UnikraftBaseline` — vanilla Unikraft
+  on KVM (no isolation, the performance ceiling) or on *linuxu* (Ring 3,
+  privileged operations become Linux syscalls).
+* :class:`~repro.baselines.linux.LinuxBaseline` — monolithic kernel:
+  every fs/time operation is a syscall (with or without KPTI).
+* :class:`~repro.baselines.sel4.Sel4GenodeBaseline` — microkernel: every
+  operation is IPC through user-level servers (two round trips: client ->
+  VFS server -> driver).
+* :class:`~repro.baselines.cubicleos.CubicleOsBaseline` — the
+  compartmentalised LibOS on linuxu: domain transitions via
+  ``pkey_mprotect`` syscalls plus trap-and-map faults, Lea allocator.
+"""
+
+from repro.baselines.cubicleos import CubicleOsBaseline
+from repro.baselines.linux import LinuxBaseline
+from repro.baselines.sel4 import Sel4GenodeBaseline
+from repro.baselines.unikraft import UnikraftBaseline
+
+__all__ = [
+    "CubicleOsBaseline",
+    "LinuxBaseline",
+    "Sel4GenodeBaseline",
+    "UnikraftBaseline",
+]

@@ -1,0 +1,38 @@
+"""Common baseline machinery."""
+
+from __future__ import annotations
+
+from repro.hw.clock import XEON_4114_HZ
+
+
+class BaselineOS:
+    """A comparator OS priced per workload-profile transaction.
+
+    Subclasses implement :meth:`transaction_cycles`, the cycles one
+    profile "request" (an SQLite INSERT transaction for Fig. 10) costs on
+    that OS.  The shared helpers convert to wall-clock figures.
+    """
+
+    name = "baseline"
+
+    #: malloc/free fast-path costs of the OS' default allocator.
+    alloc_cost = 110.0
+    free_cost = 60.0
+
+    def transaction_cycles(self, profile, costs):
+        raise NotImplementedError
+
+    def _work_and_allocs(self, profile):
+        """Pure application+kernel work plus allocator traffic."""
+        return (
+            sum(profile.work.values())
+            + profile.alloc_pairs * (self.alloc_cost + self.free_cost)
+        )
+
+    def run_workload(self, profile, costs, n_transactions):
+        """Total seconds for ``n_transactions`` (the Fig. 10 metric)."""
+        per_txn = self.transaction_cycles(profile, costs)
+        return n_transactions * per_txn / XEON_4114_HZ
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__

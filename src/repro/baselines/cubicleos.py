@@ -1,0 +1,70 @@
+"""CubicleOS baseline (Sartakov et al., ASPLOS'21).
+
+A compartmentalised LibOS that also extends Unikraft, but (the paper's
+Fig. 10 analysis):
+
+1. runs on *linuxu* — Ring 3, privileged operations are Linux syscalls;
+2. does not program MPK directly — domain transitions go through
+   ``pkey_mprotect`` syscalls ("making domain transitions orders of
+   magnitude more expensive and the TCB thousands of times larger");
+3. uses *trap-and-map*: unshared data faults on first touch and is mapped
+   in by a SIGSEGV handler (FlexOS avoids this with ``__shared``
+   annotations);
+4. ships Doug Lea's allocator, which beats Unikraft's TLSF on this
+   workload — why CubicleOS-without-isolation outruns the linuxu baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOS
+from repro.baselines.unikraft import LINUXU_PRIV_SYSCALLS
+
+#: pkey_mprotect calls per domain crossing (open the callee's cubicle,
+#: close the caller's).
+PKEY_MPROTECT_PER_CROSSING = 2
+
+#: Trap-and-map faults per crossing (first-touch of exchanged data; later
+#: touches of already-mapped windows are free).
+TRAPS_PER_CROSSING = 1
+
+
+class CubicleOsBaseline(BaselineOS):
+    """CubicleOS with 1-3 page-table-isolated cubicles."""
+
+    # Doug Lea's dlmalloc fast paths.
+    alloc_cost = 80.0
+    free_cost = 50.0
+
+    def __init__(self, compartments=1):
+        self.compartments = compartments
+        self.name = (
+            "cubicleos-none" if compartments <= 1
+            else "cubicleos-pt%d" % compartments
+        )
+
+    def crossing_cost(self, costs):
+        return (
+            PKEY_MPROTECT_PER_CROSSING * costs.pkey_mprotect
+            + TRAPS_PER_CROSSING * costs.trap_and_map_fault
+        )
+
+    def _crossings(self, profile):
+        """Round trips per transaction at this compartment count.
+
+        Mirrors the Fig. 10 scenarios: PT2 isolates the filesystem (fs
+        crossings only), PT3 additionally isolates the time subsystem.
+        """
+        if self.compartments <= 1:
+            return 0
+        crossings = profile.fs_ops
+        if self.compartments >= 3:
+            crossings += profile.time_ops
+        return crossings
+
+    def transaction_cycles(self, profile, costs):
+        cycles = self._work_and_allocs(profile)
+        cycles += LINUXU_PRIV_SYSCALLS * (
+            costs.syscall + costs.linux_kernel_op
+        )
+        cycles += self._crossings(profile) * self.crossing_cost(costs)
+        return cycles

@@ -1,0 +1,40 @@
+"""Monolithic Linux baseline.
+
+"the userland Linux version ... performs a large number of system calls"
+(Fig. 10 discussion).  Every filesystem and time operation of the
+transaction crosses the user/kernel boundary; the per-syscall latency is
+the quantity Fig. 11b compares against gate latencies, with and without
+KPTI.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOS
+
+#: Syscalls per SQLite INSERT transaction (open/write/fsync/close of the
+#: journal, pwrite+fsync of the database, unlink, clock_gettime x2, plus
+#: fd bookkeeping).
+SYSCALLS_PER_TXN = 14
+
+
+class LinuxBaseline(BaselineOS):
+    """Linux with ext4-style journalling semantics on a ramdisk."""
+
+    def __init__(self, kpti=False):
+        self.kpti = kpti
+        self.name = "linux-kpti" if kpti else "linux"
+
+    def syscall_cost(self, costs):
+        return costs.syscall_kpti if self.kpti else costs.syscall
+
+    def gate_latency(self, costs):
+        """The Fig. 11b 'syscall' bar."""
+        return self.syscall_cost(costs)
+
+    def transaction_cycles(self, profile, costs):
+        return (
+            self._work_and_allocs(profile)
+            + SYSCALLS_PER_TXN * (
+                self.syscall_cost(costs) + costs.linux_kernel_op
+            )
+        )

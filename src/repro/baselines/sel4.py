@@ -1,0 +1,29 @@
+"""SeL4 + Genode microkernel baseline.
+
+In the Genode system every kernel service is a user-level component:
+a filesystem operation travels client -> VFS server -> block/ram driver
+and back, i.e. two IPC round trips, each round trip costing two SeL4 IPC
+hops.  Time reads cross to the timer driver the same way.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOS
+
+#: IPC round trips per kernel-service operation (client->server->driver).
+ROUND_TRIPS_PER_OP = 2
+
+
+class Sel4GenodeBaseline(BaselineOS):
+    """SeL4 kernel with the Genode component system."""
+
+    name = "sel4-genode"
+
+    def gate_latency(self, costs):
+        """One IPC hop, for latency comparisons."""
+        return costs.microkernel_ipc
+
+    def transaction_cycles(self, profile, costs):
+        ops = profile.fs_ops + profile.time_ops
+        ipc_cycles = ops * ROUND_TRIPS_PER_OP * 2 * costs.microkernel_ipc
+        return self._work_and_allocs(profile) + ipc_cycles

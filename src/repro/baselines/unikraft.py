@@ -1,0 +1,38 @@
+"""Vanilla Unikraft baseline.
+
+On KVM: the unikernel performance ceiling — kernel facilities are function
+calls, so a transaction costs exactly its work (FlexOS without isolation
+must match this, the "you only pay for what you get" property).
+
+On *linuxu* (Unikraft's Linux userland debug platform, which CubicleOS
+builds on): the image runs in Ring 3 and privileged operations become
+Linux syscalls, which is the first reason the paper gives for CubicleOS'
+slowness.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineOS
+from repro.errors import ConfigError
+
+#: Privileged operations per transaction on linuxu (page-table updates,
+#: timer reads, I/O that KVM-side Unikraft does with plain instructions).
+LINUXU_PRIV_SYSCALLS = 45
+
+
+class UnikraftBaseline(BaselineOS):
+    """Unikraft v0.5 on KVM or linuxu (TLSF allocator)."""
+
+    def __init__(self, platform="kvm"):
+        if platform not in ("kvm", "linuxu"):
+            raise ConfigError("unknown Unikraft platform %r" % platform)
+        self.platform = platform
+        self.name = "unikraft-%s" % platform
+
+    def transaction_cycles(self, profile, costs):
+        cycles = self._work_and_allocs(profile)
+        if self.platform == "linuxu":
+            cycles += LINUXU_PRIV_SYSCALLS * (
+                costs.syscall + costs.linux_kernel_op
+            )
+        return cycles

@@ -1,0 +1,96 @@
+"""A Wayfinder-style sweep runner.
+
+Wayfinder [38] runs each configuration several times and reports robust
+statistics; :meth:`Wayfinder.sweep` supports the same via ``repetitions``
+plus an optional multiplicative noise model (a seeded ``random.Random``),
+aggregating with the median so single outliers cannot skew a sweep.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.errors import ExplorationError
+
+
+class SweepResult:
+    """Results of one configuration sweep."""
+
+    def __init__(self, metric):
+        self.metric = metric
+        self._rows = []       # (name, value, extra)
+
+    def add(self, name, value, **extra):
+        self._rows.append((name, value, extra))
+
+    def __len__(self):
+        return len(self._rows)
+
+    def names(self):
+        return [name for name, _, _ in self._rows]
+
+    def values(self):
+        return [value for _, value, _ in self._rows]
+
+    def value_of(self, name):
+        for row_name, value, _ in self._rows:
+            if row_name == name:
+                return value
+        raise ExplorationError("no result named %r" % name)
+
+    def normalized_to(self, reference_name):
+        """Values divided by the reference's value."""
+        reference = self.value_of(reference_name)
+        return {name: value / reference for name, value, _ in self._rows}
+
+    def best(self):
+        return max(self._rows, key=lambda row: row[1])
+
+    def worst(self):
+        return min(self._rows, key=lambda row: row[1])
+
+    def rows(self):
+        return list(self._rows)
+
+    def as_dict(self):
+        return {name: value for name, value, _ in self._rows}
+
+
+class Wayfinder:
+    """Sweeps a measurement function over configurations."""
+
+    def __init__(self, metric="requests/s"):
+        self.metric = metric
+
+    def sweep(self, configurations, measure, name_of=None, repetitions=1,
+              noise=None):
+        """Run ``measure(config)`` for each configuration.
+
+        Args:
+            configurations: iterable of configuration objects.
+            measure: callable(config) -> number (higher is better).
+            name_of: callable(config) -> display name (defaults to
+                ``config.name``).
+            repetitions: samples per configuration; the median is kept.
+            noise: optional ``random.Random`` used to perturb each sample
+                multiplicatively by up to +/-3 % (models run-to-run
+                variance; pass a seeded instance for reproducibility).
+
+        Returns a :class:`SweepResult`.
+        """
+        if repetitions < 1:
+            raise ExplorationError("repetitions must be >= 1")
+        name_of = name_of or (lambda config: config.name)
+        result = SweepResult(self.metric)
+        for config in configurations:
+            samples = []
+            for _ in range(repetitions):
+                value = measure(config)
+                if noise is not None:
+                    value *= 1.0 + noise.uniform(-0.03, 0.03)
+                samples.append(value)
+            result.add(name_of(config), statistics.median(samples),
+                       samples=samples)
+        if not len(result):
+            raise ExplorationError("sweep produced no results")
+        return result

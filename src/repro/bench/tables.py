@@ -1,0 +1,60 @@
+"""Plain-text rendering of benchmark rows and figure series."""
+
+from __future__ import annotations
+
+
+def format_table(rows, headers=None, title=None):
+    """Render a list of dicts (or sequences) as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if isinstance(rows[0], dict):
+        headers = headers or list(rows[0].keys())
+        body = [[str(row.get(h, "")) for h in headers] for row in rows]
+    else:
+        headers = headers or ["col%d" % i for i in range(len(rows[0]))]
+        body = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in body))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(values, title=None, width=48, fmt="%.3g"):
+    """Render {label: value} as horizontal ASCII bars (figure style)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if peak else ""
+        lines.append("%s  %s %s" % (
+            str(label).ljust(label_width), bar, fmt % value,
+        ))
+    return "\n".join(lines)
+
+
+def format_series(series, x_label="x", y_label="y", title=None,
+                  fmt="%.3g"):
+    """Render {label: [(x, y), ...]} as aligned columns, one x per row."""
+    labels = sorted(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        label: {x: y for x, y in points} for label, points in series.items()
+    }
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for label in labels:
+            y = lookup[label].get(x)
+            row[label] = (fmt % y) if y is not None else ""
+        rows.append(row)
+    return format_table(rows, headers=[x_label] + labels, title=title)

@@ -1,0 +1,117 @@
+"""Profile recording: derive request profiles from functional runs.
+
+The Fig. 6 sweeps use analytic :class:`~repro.apps.base.RequestProfile`
+objects.  This module closes the loop: a :class:`ProfileRecorder` watches
+a functional run (per-library work charged, gate transitions taken) and
+derives a profile from it, so the analytic inputs can be regenerated from
+— and checked against — the system actually executing.
+
+Usage::
+
+    recorder = ProfileRecorder(instance)
+    with recorder.recording():
+        ... serve N requests functionally ...
+    profile = recorder.derive_profile("redis-get", n_requests=N)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.apps.base import RequestProfile
+from repro.errors import ReproError
+
+#: Library -> profile-component mapping (profiles speak in the four
+#: Fig. 6 component names plus "app").
+LIBRARY_TO_COMPONENT = {
+    "lwip": "lwip",
+    "newlib": "newlib",
+    "uksched": "uksched",
+    "vfscore": "filesystem",
+    "ramfs": "filesystem",
+    "uktime": "uktime",
+}
+
+
+class ProfileRecorder:
+    """Derives a :class:`RequestProfile` from functional execution."""
+
+    def __init__(self, instance, app_library=None):
+        self.instance = instance
+        self.app_library = app_library
+        self._work_before = None
+        self._transitions_before = None
+        self.work_delta = {}
+        self.transition_delta = {}
+
+    @contextmanager
+    def recording(self):
+        ctx = self.instance.ctx
+        self._work_before = dict(ctx.work_by_library)
+        self._transitions_before = dict(ctx.transitions)
+        try:
+            yield self
+        finally:
+            self.work_delta = {
+                lib: cycles - self._work_before.get(lib, 0.0)
+                for lib, cycles in ctx.work_by_library.items()
+                if cycles - self._work_before.get(lib, 0.0) > 0
+            }
+            self.transition_delta = {
+                pair: count - self._transitions_before.get(pair, 0)
+                for pair, count in ctx.transitions.items()
+                if count - self._transitions_before.get(pair, 0) > 0
+            }
+
+    def _component_of(self, library):
+        if library == self.app_library:
+            return "app"
+        return LIBRARY_TO_COMPONENT.get(library, "app")
+
+    def component_work(self, n_requests):
+        """Per-request work by component, from the recorded run."""
+        work = {}
+        for library, cycles in self.work_delta.items():
+            component = self._component_of(library)
+            work[component] = work.get(component, 0.0) + cycles / n_requests
+        return work
+
+    def component_crossings(self, n_requests):
+        """Per-request crossings by component pair.
+
+        Compartment-indexed transitions are mapped back to component
+        pairs via the image's library assignment; crossings between
+        compartments hosting several components are attributed to the
+        pair of *default representatives* (good enough to compare the
+        communication structure against an analytic profile).
+        """
+        image = self.instance.image
+        comp_to_component = {}
+        for comp in image.compartments:
+            for library in comp.libraries:
+                component = self._component_of(library)
+                comp_to_component.setdefault(comp.index, set()).add(component)
+        crossings = {}
+        for (src, dst), count in self.transition_delta.items():
+            src_components = comp_to_component.get(src, {"app"})
+            dst_components = comp_to_component.get(dst, {"app"})
+            key = frozenset({min(src_components), min(dst_components)})
+            if len(key) == 1:
+                continue
+            crossings[key] = crossings.get(key, 0) + count / n_requests
+        return crossings
+
+    def derive_profile(self, name, n_requests, **kwargs):
+        """Build a :class:`RequestProfile` from the recorded run."""
+        if not self.work_delta:
+            raise ReproError("nothing recorded; run inside recording()")
+        work = self.component_work(n_requests)
+        crossings = {
+            tuple(sorted(pair)): count
+            for pair, count in self.component_crossings(n_requests).items()
+        }
+        return RequestProfile(name, work, crossings, **kwargs)
+
+    def communicating_pairs(self):
+        """The component pairs that actually exchanged gated calls."""
+        return set(self.component_crossings(1))

@@ -1,0 +1,229 @@
+"""Command-line interface: the toolchain's front door.
+
+Mirrors how the FlexOS artifact is driven: build an image from a safety
+configuration file, inspect what the build produced, account the TCB,
+and run the design-space exploration.
+
+Usage::
+
+    flexos-repro build redis.flexos.yaml
+    flexos-repro inspect redis.flexos.yaml --linker-script
+    flexos-repro tcb redis.flexos.yaml
+    flexos-repro explore --app redis --budget 500000
+    flexos-repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.base import evaluate_profile
+from repro.bench import format_table
+from repro.core.config import loads_config
+from repro.core.tcb import TcbReport
+from repro.core.toolchain.build import build_image
+from repro.errors import ReproError
+from repro.explore import explore, generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+APP_PROFILES = {
+    "redis": ("repro.apps.redis", "REDIS_GET_PROFILE", "redis"),
+    "nginx": ("repro.apps.nginx", "NGINX_HTTP_PROFILE", "nginx"),
+}
+
+
+def _load_config(path, sharing, mpk_gate):
+    with open(path) as handle:
+        text = handle.read()
+    return loads_config(text, sharing=sharing, mpk_gate=mpk_gate)
+
+
+def cmd_build(args, out):
+    config = _load_config(args.config, args.sharing, args.mpk_gate)
+    image = build_image(config)
+    report = image.transform_report
+    out.write("built image for %r\n" % config.name)
+    out.write("  mechanism:        %s\n" % config.mechanism)
+    out.write("  compartments:     %d\n" % image.n_compartments)
+    out.write("  gates inserted:   %d\n" % report.gates_inserted)
+    out.write("  DSS rewrites:     %d\n" % report.dss_rewrites)
+    out.write("  heap conversions: %d\n" % report.heap_conversions)
+    out.write("  static moves:     %d\n" % report.static_moves)
+    out.write("  wrappers:         %d\n" % report.wrappers)
+    out.write("  sections:         %d\n" % len(image.sections))
+    out.write("  shared variables: %d\n" % len(image.annotations))
+    return 0
+
+
+def cmd_inspect(args, out):
+    config = _load_config(args.config, args.sharing, args.mpk_gate)
+    image = build_image(config)
+    rows = []
+    for comp in image.compartments:
+        rows.append({
+            "compartment": comp.name,
+            "mechanism": comp.mechanism,
+            "default": "yes" if comp.spec.default else "",
+            "hardening": "+".join(sorted(h.value for h in comp.hardening))
+            or "-",
+            "libraries": ", ".join(comp.libraries),
+            "entry points": len(image.legal_entries[comp.index]),
+        })
+    out.write(format_table(rows, title="image: %s" % config.name) + "\n")
+    if args.linker_script:
+        out.write("\n" + image.linker_script + "\n")
+    return 0
+
+
+def cmd_diff(args, out):
+    """Show the transformation as a unified diff (the Fig. 3 view)."""
+    from repro.core.backends import get_backend
+    from repro.core.toolchain.render import render_all_diffs, render_diff
+    from repro.core.toolchain.sources import default_kernel_sources
+    from repro.core.toolchain.transform import transform
+
+    config = _load_config(args.config, args.sharing, args.mpk_gate)
+    sources = default_kernel_sources()
+    backend = get_backend(config.mechanism)
+    transformed, _, _ = transform(sources, config, backend)
+    if args.library:
+        out.write(render_diff(sources, transformed, args.library) + "\n")
+    else:
+        out.write(render_all_diffs(sources, transformed) + "\n")
+    return 0
+
+
+def cmd_tcb(args, out):
+    config = _load_config(args.config, args.sharing, args.mpk_gate)
+    report = TcbReport(config)
+    summary = report.summary()
+    out.write("TCB for %s (%s backend)\n" % (config.name,
+                                             summary["mechanism"]))
+    out.write("  components: %s\n" % ", ".join(summary["components"]))
+    out.write("  core libraries:  %4d LoC\n" % summary["core_loc"])
+    out.write("  backend runtime: %4d LoC\n" % summary["backend_loc"])
+    out.write("  unique trusted:  %4d LoC\n" % summary["unique_loc"])
+    if summary["duplicated_per_vm"]:
+        out.write("  (duplicated into each of %d VMs: %d LoC resident)\n"
+                  % (report.copies, report.resident_loc))
+    out.write("  outside the TCB: %s\n" % ", ".join(summary["outside_tcb"]))
+    return 0
+
+
+def cmd_explore(args, out):
+    module_name, profile_name, library = APP_PROFILES[args.app]
+    module = __import__(module_name, fromlist=[profile_name])
+    profile = getattr(module, profile_name)
+
+    def measure(layout):
+        return evaluate_profile(profile, layout, DEFAULT_COSTS,
+                                library)["requests_per_second"]
+
+    from repro.explore.configspace import generate_full_space
+
+    layouts = (generate_full_space() if args.full_space
+               else generate_fig6_space())
+    result = explore(layouts, measure, budget=args.budget)
+    if args.dot:
+        from repro.explore.visualize import exploration_to_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(exploration_to_dot(result) + "\n")
+        out.write("poset written to %s (render with: dot -Tpdf)\n"
+                  % args.dot)
+    summary = result.summary()
+    out.write("explored %d configurations: %d measured, %d pruned, "
+              "%d meet %d req/s\n"
+              % (summary["configurations"], summary["evaluated"],
+                 summary["pruned"], summary["passing"], args.budget))
+    rows = [
+        {"starred": name,
+         "req/s": "%.0f" % result.measurements[name]}
+        for name in result.recommended
+    ]
+    out.write(format_table(rows) + "\n" if rows
+              else "no configuration meets the budget\n")
+    return 0
+
+
+def cmd_table1(args, out):
+    from repro.porting import porting_effort_table
+
+    out.write(format_table(porting_effort_table(),
+                           title="Table 1: porting effort") + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="flexos-repro",
+        description="FlexOS (ASPLOS'22) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_config_args(p):
+        p.add_argument("config", help="safety configuration file")
+        p.add_argument("--sharing", default="dss",
+                       choices=("dss", "heap", "shared-stack"))
+        p.add_argument("--mpk-gate", default="full",
+                       choices=("full", "light"))
+
+    p_build = sub.add_parser("build", help="run the build toolchain")
+    add_config_args(p_build)
+    p_build.set_defaults(func=cmd_build)
+
+    p_inspect = sub.add_parser("inspect", help="show a built image")
+    add_config_args(p_inspect)
+    p_inspect.add_argument("--linker-script", action="store_true",
+                           help="print the generated linker script")
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_diff = sub.add_parser(
+        "diff", help="show the source transformation as a unified diff",
+    )
+    add_config_args(p_diff)
+    p_diff.add_argument("--library", default=None,
+                        help="restrict the diff to one micro-library")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_tcb = sub.add_parser("tcb", help="trusted-computing-base accounting")
+    add_config_args(p_tcb)
+    p_tcb.set_defaults(func=cmd_tcb)
+
+    p_explore = sub.add_parser(
+        "explore", help="partial safety ordering over the Fig. 6 space",
+    )
+    p_explore.add_argument("--app", default="redis",
+                           choices=sorted(APP_PROFILES))
+    p_explore.add_argument("--budget", type=float, default=500_000,
+                           help="minimum requests/s")
+    p_explore.add_argument("--full-space", action="store_true",
+                           help="explore all 224 partitions, not just "
+                                "the Fig. 6 strategies")
+    p_explore.add_argument("--dot", metavar="FILE", default=None,
+                           help="write the labelled poset as Graphviz DOT")
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_table1 = sub.add_parser("table1", help="print the porting table")
+    p_table1.set_defaults(func=cmd_table1)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except FileNotFoundError as exc:
+        out.write("error: %s\n" % exc)
+        return 2
+    except ReproError as exc:
+        out.write("error: %s\n" % exc)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""FlexOS core: the paper's primary contribution.
+
+The pieces, mirroring Section 3:
+
+* :mod:`repro.core.config` — build-time safety configuration (compartments,
+  mechanisms, hardening, data-sharing strategy) and the paper's YAML-style
+  configuration-file format.
+* :mod:`repro.core.annotations` — ``__shared`` data annotations and
+  whitelists.
+* :mod:`repro.core.gates` — call-gate implementations (function call,
+  MPK full/light, EPT RPC).
+* :mod:`repro.core.dss` — Data Shadow Stacks.
+* :mod:`repro.core.sharing` — data-sharing strategies.
+* :mod:`repro.core.hardening` — per-compartment software hardening.
+* :mod:`repro.core.backends` — the isolation-backend API and registry.
+* :mod:`repro.core.toolchain` — build-time source transformations.
+* :mod:`repro.core.image` / :mod:`repro.core.vm` — built images and
+  booted instances.
+* :mod:`repro.core.tcb` — trusted-computing-base accounting.
+"""
+
+from repro.core.config import CompartmentSpec, SafetyConfig, loads_config
+from repro.core.image import Image
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+
+__all__ = [
+    "CompartmentSpec",
+    "FlexOSInstance",
+    "Image",
+    "Machine",
+    "SafetyConfig",
+    "build_image",
+    "loads_config",
+]

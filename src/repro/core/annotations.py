@@ -1,0 +1,94 @@
+"""``__shared`` data annotations and whitelists (Section 3.1).
+
+FlexOS treats all data a library allocates as private by default.
+Variables passed across compartments must be annotated as shared with a
+*whitelist* of libraries (access-control-list style).  At build time the
+toolchain materialises each annotation according to the configured data
+sharing strategy; at run time, the registry is what the porting workflow
+appends to when a crash report names an unannotated symbol.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SharedAnnotation:
+    """One ``__shared`` annotation on a variable."""
+
+    __slots__ = ("symbol", "library", "whitelist", "storage")
+
+    def __init__(self, symbol, library, whitelist=(), storage="stack"):
+        """
+        Args:
+            symbol: variable name, e.g. ``rx_buf``.
+            library: the library that declares (owns) the variable.
+            whitelist: libraries allowed to access it ("*" = all).
+            storage: ``stack``, ``heap`` or ``static`` — the three cases
+                the toolchain materialises differently.
+        """
+        if storage not in ("stack", "heap", "static"):
+            raise ConfigError("bad storage class %r for %s" % (storage, symbol))
+        self.symbol = symbol
+        self.library = library
+        self.whitelist = tuple(whitelist)
+        self.storage = storage
+
+    @property
+    def key(self):
+        return (self.library, self.symbol)
+
+    def allows(self, library):
+        return (
+            library == self.library
+            or "*" in self.whitelist
+            or library in self.whitelist
+        )
+
+    def __repr__(self):
+        return "__shared(%s.%s -> %s, %s)" % (
+            self.library, self.symbol, list(self.whitelist), self.storage,
+        )
+
+
+class AnnotationRegistry:
+    """All shared-data annotations of one build."""
+
+    def __init__(self):
+        self._by_key = {}
+
+    def annotate(self, symbol, library, whitelist=(), storage="stack"):
+        """Add (or widen) an annotation; returns it."""
+        annotation = self._by_key.get((library, symbol))
+        if annotation is None:
+            annotation = SharedAnnotation(symbol, library, whitelist, storage)
+            self._by_key[annotation.key] = annotation
+        else:
+            merged = set(annotation.whitelist) | set(whitelist)
+            self._by_key[annotation.key] = SharedAnnotation(
+                symbol, library, sorted(merged), annotation.storage,
+            )
+            annotation = self._by_key[annotation.key]
+        return annotation
+
+    def lookup(self, library, symbol):
+        return self._by_key.get((library, symbol))
+
+    def is_shared(self, library, symbol):
+        return (library, symbol) in self._by_key
+
+    def of_library(self, library):
+        return sorted(
+            (a for a in self._by_key.values() if a.library == library),
+            key=lambda a: a.symbol,
+        )
+
+    def count_for(self, library):
+        """Shared-variable count, the Table 1 metric."""
+        return len(self.of_library(library))
+
+    def __len__(self):
+        return len(self._by_key)
+
+    def __iter__(self):
+        return iter(sorted(self._by_key.values(), key=lambda a: a.key))

@@ -1,0 +1,34 @@
+"""Isolation backends (Section 3.2).
+
+A backend is "the API implementation for a given technology together with
+its runtime library".  Porting FlexOS to a new mechanism means
+implementing (1) gates, (2) core-library hooks, (3) linker-script
+generation, (4) code transformations, and (5) registering the backend —
+no redesign.  That contract is :class:`~repro.core.backends.base.IsolationBackend`;
+this package registers the prototype's backends (none, Intel MPK, EPT/VM)
+plus the CHERI sketch of Section 4.3.
+"""
+
+from repro.core.backends.base import (
+    BACKEND_REGISTRY,
+    IsolationBackend,
+    get_backend,
+    register_backend,
+)
+from repro.core.backends.cheri import CheriBackend
+from repro.core.backends.ept import EptBackend
+from repro.core.backends.mpk import MpkBackend
+from repro.core.backends.none import NoIsolationBackend
+from repro.core.backends.sgx import SgxBackend
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "CheriBackend",
+    "EptBackend",
+    "IsolationBackend",
+    "MpkBackend",
+    "NoIsolationBackend",
+    "SgxBackend",
+    "get_backend",
+    "register_backend",
+]

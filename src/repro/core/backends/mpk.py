@@ -1,0 +1,133 @@
+"""Intel MPK isolation backend (Section 4.1).
+
+One protection key per compartment, one key reserved for the shared
+communication domain.  Private ``.data``/``.rodata``/``.bss`` sections per
+compartment are stamped with the compartment's key by the boot code.  Each
+compartment has a private heap; a shared heap carries communications.
+
+Gates come in two flavours: the full HODOR-style gate (register isolation
+plus one call stack per thread per compartment, found via a stack
+registry) and the light ERIM-style gate (PKRU swap only).
+
+Core-library hooks: the scheduler's ``thread_create`` hook "switches a
+newly created thread to the right protection domain" — here it carves the
+thread's home-compartment stack (doubled with a DSS when the image's
+sharing strategy asks for one).
+"""
+
+from __future__ import annotations
+
+from repro.core.backends.base import IsolationBackend, register_backend
+from repro.core.gates import MpkFullGate, MpkLightGate
+from repro.hw.memory import Perm
+from repro.hw.mpk import PKRU, PkeyAllocator
+
+
+@register_backend
+class MpkBackend(IsolationBackend):
+    mechanism = "intel-mpk"
+    loc = 1400
+    single_address_space = True
+
+    def __init__(self):
+        self.pkeys = PkeyAllocator()
+        self.shared_pkey = None
+        #: name -> (pkey, frozenset of compartment indices) for the
+        #: restricted shared domains carved from leftover keys.
+        self.restricted_domains = {}
+
+    def setup_domains(self, instance):
+        image = instance.image
+        # One key per compartment; key 0 stays the TCB/default key for the
+        # default compartment, in line with the boot code owning it.
+        for comp in image.compartments:
+            if comp.spec.default:
+                comp.pkey = 0
+            else:
+                comp.pkey = self.pkeys.allocate(comp.name)
+        # One key for the shared communication domain.
+        self.shared_pkey = self.pkeys.allocate("shared")
+        for comp in image.compartments:
+            comp.shared_pkeys = (self.shared_pkey,)
+        instance.shared_pkey = self.shared_pkey
+
+        # Boot-time protection of per-compartment sections (Section 4.1,
+        # "Data Ownership").
+        for section in image.sections:
+            comp = image.compartments[section.compartment_index] \
+                if section.compartment_index is not None else None
+            pkey = self.shared_pkey if comp is None else comp.pkey
+            perm = Perm.RX if section.kind == "text" else (
+                Perm.R if section.kind == "rodata" else Perm.RW
+            )
+            instance.add_section_region(section, pkey=pkey, perm=perm)
+
+        # The boot CPU starts in the default compartment.
+        default = image.compartment_of("ukboot")
+        instance.ctx.pkru = PKRU(allowed=default.allowed_keys())
+        instance.ctx.address_space = None
+
+    def build_gates(self, instance):
+        image = instance.image
+        light = image.config.mpk_gate == "light"
+        gates = {}
+        for src, dst in self.all_pairs(image.compartments):
+            if light:
+                gates[(src.index, dst.index)] = MpkLightGate(
+                    src, dst, instance.costs,
+                )
+            else:
+                gates[(src.index, dst.index)] = MpkFullGate(
+                    src, dst, instance.costs,
+                    stack_provider=instance.provide_stack,
+                )
+        return gates
+
+    def install_hooks(self, instance):
+        """Scheduler hook: place new threads in their home domain.
+
+        Stack carving itself is the instance's generic thread-create
+        hook; the MPK-specific part — stamping the stack with the home
+        compartment's protection key and doubling it with a shared-domain
+        DSS — happens inside ``provide_stack`` via the pkeys this backend
+        assigned at boot.  The hook here records the domain assignment.
+        """
+
+        def on_thread_create(thread):
+            comp = instance.image.compartments[thread.home_compartment]
+            thread.mpk_domain = comp.pkey
+
+        instance.sched.register_hook("thread_create", on_thread_create)
+
+    def create_restricted_domain(self, instance, name, libraries):
+        """Carve a shared domain visible only to ``libraries``' comps.
+
+        Uses one of the leftover protection keys ("If the image features
+        less than 15 compartments, FlexOS uses remaining keys for
+        additional shared domains between restricted groups").  Returns
+        the domain's heap allocator.
+        """
+        image = instance.image
+        members = frozenset(
+            image.compartment_of(lib).index for lib in libraries
+        )
+        pkey = self.pkeys.allocate("restricted:%s" % name)
+        for comp in image.compartments:
+            if comp.index in members:
+                comp.shared_pkeys = tuple(comp.shared_pkeys) + (pkey,)
+        self.restricted_domains[name] = (pkey, members)
+        heap = instance.memmgr.create_restricted_shared_heap(name, pkey)
+        # The boot CPU's PKRU must reflect its compartment's new grant.
+        boot_comp = image.compartments[instance.ctx.compartment]
+        if instance.ctx.pkru is not None and \
+                boot_comp.index in members:
+            instance.ctx.pkru.allow(pkey)
+        return heap
+
+    def transform_rules(self):
+        return (
+            "gate-to-mpk",
+            "shared-static-to-shared-section",
+            "shared-stack-to-dss",
+            "shared-heap-to-shared-alloc",
+        )

@@ -1,0 +1,42 @@
+"""The no-isolation backend.
+
+Used for single-compartment images and for "FlexOS without isolation"
+baselines: all gates degrade to plain function calls, no PKRU or address
+space is installed, and — per the paper's P4 ("you only pay for what you
+get") — the result must perform identically to vanilla Unikraft, which
+the Fig. 9/10 benchmarks verify.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends.base import IsolationBackend, register_backend
+from repro.core.gates import FunctionCallGate
+from repro.hw.memory import Perm
+
+
+@register_backend
+class NoIsolationBackend(IsolationBackend):
+    mechanism = "none"
+    loc = 0
+    single_address_space = True
+
+    def setup_domains(self, instance):
+        for section in instance.image.sections:
+            perm = Perm.RX if section.kind == "text" else (
+                Perm.R if section.kind == "rodata" else Perm.RW
+            )
+            instance.add_section_region(section, pkey=0, perm=perm)
+        # No PKRU, no address space: nothing to fault on.
+        instance.ctx.pkru = None
+        instance.ctx.address_space = None
+
+    def build_gates(self, instance):
+        gates = {}
+        for src, dst in self.all_pairs(instance.image.compartments):
+            gates[(src.index, dst.index)] = FunctionCallGate(
+                src, dst, instance.costs,
+            )
+        return gates
+
+    def transform_rules(self):
+        return ("gate-to-function-call",)

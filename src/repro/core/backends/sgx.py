@@ -1,0 +1,124 @@
+"""Intel SGX isolation backend.
+
+Listed as future work in the paper ("we intend to add more isolation
+backend implementations to FlexOS including CHERI and SGX"); implemented
+here to demonstrate P2 once more: a new mechanism is gates + hooks +
+linker rules + transformations + registration — no redesign.
+
+Model: every non-default compartment is an *enclave*.  Enclave memory
+(the EPC) is invisible to the untrusted world, while enclave code can
+read untrusted memory — the asymmetric visibility SGX hardware enforces.
+That asymmetry maps onto per-enclave address spaces: the default
+compartment's context has no enclave regions mapped; an enclave's context
+maps both its own EPC regions and all untrusted regions.  Transitions are
+EENTER/EEXIT world switches, an order of magnitude above MPK gates, and
+enclave entry points are fixed at build time (the ECALL table — SGX's
+native form of the gate-level CFI FlexOS relies on).
+"""
+
+from __future__ import annotations
+
+from repro.core.backends.base import IsolationBackend, register_backend
+from repro.core.gates import Gate
+from repro.hw.ept import AddressSpace
+from repro.hw.memory import Perm
+
+
+class SgxEcallGate(Gate):
+    """EENTER into the enclave, EEXIT out (or OCALL in reverse)."""
+
+    kind = "sgx-ecall"
+
+    def one_way_cost(self):
+        return self.costs.gate_one_way("intel-sgx")
+
+    def _enter(self, ctx):
+        # The enclave can see everything; the world switch changes the
+        # effective address space to the enclave's view.
+        state = ctx.address_space
+        ctx.address_space = self.dst.address_space
+        # EPC accesses pay the memory-encryption-engine tax.
+        ctx.clock.charge(self.costs.sgx_epc_touch)
+        return state
+
+    def _leave(self, ctx, state):
+        ctx.address_space = state
+
+
+@register_backend
+class SgxBackend(IsolationBackend):
+    mechanism = "intel-sgx"
+    loc = 1800  # enclave runtime + ECALL table generation
+    single_address_space = True  # one process; EPC carved out of its AS
+
+    def __init__(self):
+        self.untrusted_view = None
+        self.enclave_views = {}
+
+    def setup_domains(self, instance):
+        image = instance.image
+        self.untrusted_view = AddressSpace("untrusted")
+        for comp in image.compartments:
+            if not comp.spec.default:
+                comp.address_space = AddressSpace("enclave-%s" % comp.name)
+                self.enclave_views[comp.index] = comp.address_space
+
+        for section in image.sections:
+            perm = Perm.RX if section.kind == "text" else (
+                Perm.R if section.kind == "rodata" else Perm.RW
+            )
+            region = instance.add_section_region(section, pkey=0, perm=perm)
+            self._map_region(image, section.compartment_index, region)
+
+        default = image.compartment_of("ukboot")
+        default.address_space = self.untrusted_view
+        instance.ctx.pkru = None
+        instance.ctx.address_space = self.untrusted_view
+
+    def _map_region(self, image, compartment_index, region):
+        """Apply SGX's asymmetric visibility to one region."""
+        if compartment_index is None or \
+                image.compartments[compartment_index].spec.default:
+            # Untrusted memory: visible to the world and to every enclave.
+            self.untrusted_view.map(region)
+            for view in self.enclave_views.values():
+                view.map(region)
+        else:
+            # EPC: visible only inside the owning enclave.
+            self.enclave_views[compartment_index].map(region)
+
+    def on_heap_created(self, instance, compartment, region):
+        index = None if compartment is None or compartment.spec.default \
+            else compartment.index
+        self._map_region(instance.image, index, region)
+
+    def on_stack_created(self, instance, compartment, stack_region,
+                         dss_region):
+        index = None if compartment.spec.default else compartment.index
+        self._map_region(instance.image, index, stack_region)
+        if dss_region is not None:
+            # The DSS is shared memory: untrusted, hence world-visible.
+            self._map_region(instance.image, None, dss_region)
+
+    def build_gates(self, instance):
+        gates = {}
+        for src, dst in self.all_pairs(instance.image.compartments):
+            gates[(src.index, dst.index)] = SgxEcallGate(
+                src, dst, instance.costs,
+            )
+        return gates
+
+    def install_hooks(self, instance):
+        def on_thread_create(thread):
+            # Threads bind to an enclave's TCS slot at creation; the
+            # generic hook already carved the stack.
+            thread.tcs_bound = True
+
+        instance.sched.register_hook("thread_create", on_thread_create)
+
+    def transform_rules(self):
+        return (
+            "gate-to-ecall",
+            "ecall-table-generation",
+            "shared-to-untrusted-buffer",
+        )

@@ -1,0 +1,287 @@
+"""Build-time safety configuration.
+
+A :class:`SafetyConfig` is everything the user decides at build time
+(Section 3): which micro-libraries go in which compartment, which
+isolation mechanism backs each compartment, which hardening is enabled
+per compartment, the data-sharing strategy, and (for MPK) the gate
+flavour.  :func:`loads_config` parses the YAML-subset configuration-file
+format shown in the paper::
+
+    compartments:
+      comp1:
+        mechanism: intel-mpk
+        default: True
+      comp2:
+        mechanism: intel-mpk
+        hardening: [cfi, asan]
+    libraries:
+      - libredis: comp1
+      - lwip: comp2
+"""
+
+from __future__ import annotations
+
+from repro.core.hardening import parse_hardening
+from repro.errors import ConfigError
+
+MECHANISMS = ("none", "intel-mpk", "vm-ept", "cheri", "intel-sgx")
+
+SHARING_STRATEGIES = ("heap", "dss", "shared-stack")
+
+GATE_FLAVOURS = ("full", "light")
+
+
+ALLOCATORS = ("tlsf", "lea", "bump")
+
+
+class CompartmentSpec:
+    """One compartment in a safety configuration.
+
+    ``allocator`` selects the compartment's private-heap allocator; many
+    hardening schemes instrument the allocator, and FlexOS' per-
+    compartment allocators make that instrumentation selective
+    (Section 4.5).
+    """
+
+    def __init__(self, name, mechanism="intel-mpk", hardening=(),
+                 default=False, allocator=None):
+        if mechanism not in MECHANISMS:
+            raise ConfigError(
+                "unknown mechanism %r for compartment %s" % (mechanism, name)
+            )
+        if allocator is not None and allocator not in ALLOCATORS:
+            raise ConfigError(
+                "unknown allocator %r for compartment %s" % (allocator, name)
+            )
+        self.name = name
+        self.mechanism = mechanism
+        self.hardening = parse_hardening(hardening)
+        self.default = default
+        self.allocator = allocator
+
+    def __repr__(self):
+        return "CompartmentSpec(%s, %s, hardening=%s%s)" % (
+            self.name, self.mechanism,
+            sorted(h.value for h in self.hardening),
+            ", default" if self.default else "",
+        )
+
+
+class SafetyConfig:
+    """A complete build-time safety configuration."""
+
+    def __init__(self, compartments, assignment, sharing="dss",
+                 mpk_gate="full", name=None):
+        """
+        Args:
+            compartments: list of :class:`CompartmentSpec`.
+            assignment: dict library-name -> compartment-name.
+            sharing: data-sharing strategy (``heap``/``dss``/``shared-stack``).
+            mpk_gate: ``full`` (HODOR-style) or ``light`` (ERIM-style).
+            name: optional human label used by the explorer.
+        """
+        self.compartments = {c.name: c for c in compartments}
+        if len(self.compartments) != len(compartments):
+            raise ConfigError("duplicate compartment names")
+        self.assignment = dict(assignment)
+        self.sharing = sharing
+        self.mpk_gate = mpk_gate
+        self.name = name or self._derive_name()
+        self.validate()
+
+    # -- validation -----------------------------------------------------------
+    def validate(self):
+        if not self.compartments:
+            raise ConfigError("a configuration needs at least one compartment")
+        defaults = [c for c in self.compartments.values() if c.default]
+        if len(defaults) != 1:
+            raise ConfigError(
+                "exactly one compartment must be marked default (got %d)"
+                % len(defaults)
+            )
+        if self.sharing not in SHARING_STRATEGIES:
+            raise ConfigError("unknown sharing strategy %r" % self.sharing)
+        if self.mpk_gate not in GATE_FLAVOURS:
+            raise ConfigError("unknown MPK gate flavour %r" % self.mpk_gate)
+        for lib, comp in self.assignment.items():
+            if comp not in self.compartments:
+                raise ConfigError(
+                    "library %s assigned to unknown compartment %r"
+                    % (lib, comp)
+                )
+        # The prototype builds one mechanism per image (as in the paper's
+        # evaluation); mixed-mechanism images are future work there too.
+        mechanisms = {
+            c.mechanism for c in self.compartments.values()
+        }
+        if len(mechanisms) > 1 and self.n_compartments > 1:
+            raise ConfigError(
+                "mixed isolation mechanisms in one image: %s"
+                % sorted(mechanisms)
+            )
+
+    def _derive_name(self):
+        groups = {}
+        for lib, comp in sorted(self.assignment.items()):
+            groups.setdefault(comp, []).append(lib)
+        parts = ["+".join(libs) for _, libs in sorted(groups.items())]
+        return " | ".join(parts)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def n_compartments(self):
+        return len(self.compartments)
+
+    @property
+    def mechanism(self):
+        """The image's isolation mechanism."""
+        if self.n_compartments == 1:
+            return "none"
+        return next(iter(self.compartments.values())).mechanism
+
+    @property
+    def default_compartment(self):
+        return next(c for c in self.compartments.values() if c.default)
+
+    def compartment_of(self, library):
+        comp = self.assignment.get(library)
+        if comp is None:
+            return self.default_compartment.name
+        return comp
+
+    def libraries_in(self, compartment_name):
+        return sorted(
+            lib for lib, comp in self.assignment.items()
+            if comp == compartment_name
+        )
+
+    def hardening_of(self, library):
+        return self.compartments[self.compartment_of(library)].hardening
+
+    def same_compartment(self, lib_a, lib_b):
+        return self.compartment_of(lib_a) == self.compartment_of(lib_b)
+
+    def partition(self, libraries):
+        """Frozen-set partition of ``libraries`` induced by the assignment.
+
+        Used by the explorer's refinement-based safety order.
+        """
+        groups = {}
+        for lib in libraries:
+            groups.setdefault(self.compartment_of(lib), set()).add(lib)
+        return frozenset(frozenset(g) for g in groups.values())
+
+    def __repr__(self):
+        return "SafetyConfig(%s, mech=%s, sharing=%s)" % (
+            self.name, self.mechanism, self.sharing,
+        )
+
+
+def single_compartment(libraries, hardening=(), name=None):
+    """Convenience: everything in one unisolated compartment."""
+    comp = CompartmentSpec("comp1", mechanism="none",
+                           hardening=hardening, default=True)
+    return SafetyConfig(
+        [comp], {lib: "comp1" for lib in libraries}, name=name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Configuration-file parsing (the YAML subset used in the paper's snippet).
+# ---------------------------------------------------------------------------
+
+def _parse_scalar(text):
+    text = text.strip()
+    if text in ("True", "true"):
+        return True
+    if text in ("False", "false"):
+        return False
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [item.strip() for item in inner.split(",")]
+    return text
+
+
+def _parse_block(lines, indent):
+    """Parse an indentation-nested block into dicts/lists/scalars."""
+    result = {}
+    items = []
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            i += 1
+            continue
+        depth = len(raw) - len(raw.lstrip())
+        if depth < indent:
+            break
+        if depth > indent:
+            raise ConfigError("bad indentation at line %r" % raw)
+        if stripped.startswith("- "):
+            body = stripped[2:]
+            if ":" in body:
+                key, _, value = body.partition(":")
+                items.append({key.strip(): _parse_scalar(value)})
+            else:
+                items.append(_parse_scalar(body))
+            i += 1
+            continue
+        key, _, value = stripped.partition(":")
+        key = key.strip()
+        if value.strip():
+            result[key] = _parse_scalar(value)
+            i += 1
+        else:
+            # Nested block: find its extent.
+            j = i + 1
+            while j < len(lines):
+                nxt = lines[j]
+                if nxt.strip() and not nxt.strip().startswith("#"):
+                    nxt_depth = len(nxt) - len(nxt.lstrip())
+                    if nxt_depth <= indent:
+                        break
+                j += 1
+            child_lines = lines[i + 1:j]
+            child_indent = None
+            for child in child_lines:
+                if child.strip() and not child.strip().startswith("#"):
+                    child_indent = len(child) - len(child.lstrip())
+                    break
+            if child_indent is None:
+                result[key] = {}
+            else:
+                result[key], _ = _parse_block(child_lines, child_indent), None
+                result[key] = result[key]
+            i = j
+    if items and result:
+        raise ConfigError("mixed list and mapping at the same level")
+    return items if items else result
+
+
+def loads_config(text, sharing="dss", mpk_gate="full", name=None):
+    """Parse the paper's configuration-file format into a SafetyConfig."""
+    lines = text.splitlines()
+    top = _parse_block(lines, 0)
+    if not isinstance(top, dict) or "compartments" not in top:
+        raise ConfigError("configuration needs a 'compartments' section")
+    comp_specs = []
+    for comp_name, body in top["compartments"].items():
+        if not isinstance(body, dict):
+            raise ConfigError("compartment %s must be a mapping" % comp_name)
+        comp_specs.append(CompartmentSpec(
+            comp_name,
+            mechanism=body.get("mechanism", "intel-mpk"),
+            hardening=body.get("hardening", []),
+            default=bool(body.get("default", False)),
+        ))
+    assignment = {}
+    for entry in top.get("libraries", []):
+        if not isinstance(entry, dict) or len(entry) != 1:
+            raise ConfigError("bad library entry %r" % entry)
+        ((lib, comp),) = entry.items()
+        assignment[lib] = comp
+    return SafetyConfig(comp_specs, assignment, sharing=sharing,
+                        mpk_gate=mpk_gate, name=name)

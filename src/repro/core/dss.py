@@ -1,0 +1,94 @@
+"""Data Shadow Stacks (Section 4.1, Fig. 4).
+
+Shared stack variables are the performance problem: converting them to
+shared-heap allocations costs as much as an entire domain transition per
+variable.  The DSS reuses the compiler's stack bookkeeping instead: the
+thread's stack is doubled, the upper half (the DSS) is placed in the
+shared domain, and the shadow of stack variable ``x`` lives at
+``&x + STACK_SIZE``.  Allocation is a cursor bump — constant, stack-speed
+cost — and references to shared stack variables are rewritten at build
+time to ``*(&var + STACK_SIZE)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.hw.memory import MemoryObject
+from repro.kernel.lib import work
+from repro.kernel.memmgr import STACK_SIZE
+
+
+class DataShadowStack:
+    """The DSS of one thread in one compartment."""
+
+    def __init__(self, stack_region, dss_region, costs):
+        if dss_region.size != stack_region.size:
+            raise AllocationError(
+                "DSS must mirror the stack: %d != %d bytes"
+                % (dss_region.size, stack_region.size)
+            )
+        self.stack_region = stack_region
+        self.dss_region = dss_region
+        self.costs = costs
+        self._cursor = 0
+        self.allocations = 0
+
+    @property
+    def stack_size(self):
+        return self.stack_region.size
+
+    def shadow_address(self, stack_offset):
+        """The shadow of the stack slot at ``stack_offset``.
+
+        Numerically ``&x + STACK_SIZE`` in the paper's layout where the
+        DSS occupies the doubled stack's upper half.
+        """
+        return self.stack_region.base + stack_offset + STACK_SIZE
+
+    def frame(self):
+        """Open a stack frame; shared variables allocated in it die with it."""
+        return DssFrame(self)
+
+    def _alloc(self, symbol, size):
+        if self._cursor + size > self.dss_region.size:
+            raise AllocationError("DSS overflow allocating %s" % symbol)
+        offset = self._cursor
+        self._cursor += size
+        self.allocations += 1
+        # Stack-speed: the compiler already did the bookkeeping.
+        work(self.costs.dss_alloc)
+        return MemoryObject(symbol, self.dss_region, offset)
+
+    def _release(self, mark):
+        self._cursor = mark
+
+    @property
+    def bytes_used(self):
+        return self._cursor
+
+    @property
+    def memory_overhead(self):
+        """Extra bytes this DSS costs (the stack is doubled)."""
+        return self.dss_region.size
+
+
+class DssFrame:
+    """One function frame's shared-variable allocations."""
+
+    def __init__(self, dss):
+        self.dss = dss
+        self._mark = dss._cursor
+
+    def __enter__(self):
+        return self
+
+    def alloc(self, symbol, size=1):
+        """Allocate the shadow slot of a shared stack variable."""
+        return self.dss._alloc(symbol, size)
+
+    def close(self):
+        self.dss._release(self._mark)
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

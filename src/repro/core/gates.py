@@ -1,0 +1,245 @@
+"""Call gates (Section 3.1 / 4.1 / 4.2).
+
+In FlexOS source code, cross-library calls are *abstract* gates; the
+toolchain replaces them at build time with an implementation chosen by the
+configuration.  Gates implement the System V calling convention from the
+perspective of caller and callee, but unlike plain calls they isolate the
+register set and (for the full MPK gate) switch call stacks.
+
+Implemented gates:
+
+* :class:`FunctionCallGate` — caller and callee share a compartment; the
+  result "is similar to the code prior porting, resulting in zero
+  overhead" (Fig. 3).
+* :class:`MpkFullGate` — HODOR-style: saves and clears registers, switches
+  the PKRU and the per-thread per-compartment stack (7 steps, Section 4.1).
+* :class:`MpkLightGate` — ERIM-style: swaps the PKRU before a normal call;
+  shares stack and registers ("lesser guarantees ... close to the raw cost
+  of wrpkru instructions").
+* :class:`EptRpcGate` — places a function pointer and arguments in shared
+  memory; the callee VM's RPC server validates the entry point and runs
+  the function on a worker thread.
+* :class:`CheriGate` — the sketched CHERI backend (Section 4.3): CInvoke
+  plus sentry capabilities, register + capability-register clearing.
+
+Every gate records its transitions on the execution context, which is how
+the profile-mode crossing counts are validated against functional runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EntryPointViolation, IagoViolation
+from repro.hw.memory import AccessType, MemoryObject
+
+
+class Gate:
+    """Base gate: a one-way-in, one-way-out domain transition."""
+
+    #: Name used by transformation output and debug dumps.
+    kind = "abstract"
+
+    def __init__(self, src, dst, costs):
+        """
+        Args:
+            src: caller :class:`~repro.core.image.Compartment`.
+            dst: callee :class:`~repro.core.image.Compartment`.
+            costs: the machine's :class:`~repro.hw.costs.CostModel`.
+        """
+        self.src = src
+        self.dst = dst
+        self.costs = costs
+        self.crossings = 0
+
+    # -- hooks subclasses implement -----------------------------------------
+    def _enter(self, ctx):
+        """Switch ``ctx`` into the callee domain; returns restore state."""
+        raise NotImplementedError
+
+    def _leave(self, ctx, state):
+        """Restore ``ctx`` into the caller domain."""
+        raise NotImplementedError
+
+    def one_way_cost(self):
+        raise NotImplementedError
+
+    # -- the call template ---------------------------------------------------
+    def call(self, ctx, library, func, args, kwargs):
+        """Perform the cross-compartment call ``func(*args, **kwargs)``."""
+        self.crossings += 1
+        ctx.record_transition(self.src.index, self.dst.index)
+        ctx.gate_depth += 1
+        ctx.clock.charge(self.one_way_cost())
+        state = self._enter(ctx)
+        previous_comp = ctx.compartment
+        ctx.compartment = self.dst.index
+        try:
+            with ctx.in_library(library):
+                return func(*args, **kwargs)
+        finally:
+            ctx.compartment = previous_comp
+            ctx.clock.charge(self.one_way_cost())
+            self._leave(ctx, state)
+            ctx.gate_depth -= 1
+
+
+class FunctionCallGate(Gate):
+    """Same-compartment call: an ordinary System V function call."""
+
+    kind = "function-call"
+
+    def one_way_cost(self):
+        return self.costs.function_call / 2.0
+
+    def _enter(self, ctx):
+        return None
+
+    def _leave(self, ctx, state):
+        pass
+
+
+class MpkLightGate(Gate):
+    """ERIM-style gate: wrpkru swap, shared stack and registers."""
+
+    kind = "mpk-light"
+
+    def one_way_cost(self):
+        return self.costs.gate_mpk_light
+
+    def _enter(self, ctx):
+        snap = ctx.pkru.snapshot() if ctx.pkru is not None else None
+        if ctx.pkru is not None:
+            for key in self.src.private_keys():
+                ctx.pkru.deny(key)
+            for key in self.dst.allowed_keys():
+                ctx.pkru.allow(key)
+        return snap
+
+    def _leave(self, ctx, state):
+        if ctx.pkru is not None and state is not None:
+            ctx.pkru.restore(state)
+
+
+class MpkFullGate(MpkLightGate):
+    """HODOR-style gate with register isolation and stack switching.
+
+    Upon transition the gate (1) saves the caller's register set,
+    (2) clears registers, (3) loads arguments, (4) saves the stack
+    pointer, (5) switches thread permissions, (6) switches to the callee's
+    per-thread stack from the compartment's stack registry, (7) calls.
+    """
+
+    kind = "mpk-full"
+
+    def __init__(self, src, dst, costs, stack_provider=None):
+        super().__init__(src, dst, costs)
+        #: Callable(thread, compartment) -> stack region; installed by the
+        #: backend so stacks are created lazily on first entry.
+        self.stack_provider = stack_provider
+
+    def one_way_cost(self):
+        return self.costs.gate_mpk_full
+
+    def _enter(self, ctx):
+        snap = super()._enter(ctx)
+        thread = ctx.current_thread
+        if thread is not None and self.stack_provider is not None:
+            # The stack-registry lookup the paper describes; creates the
+            # compartment-local stack on first use.
+            if thread.stack_for(self.dst.index) is None:
+                self.stack_provider(thread, self.dst)
+        return snap
+
+
+class EptRpcGate(Gate):
+    """Cross-VM RPC over a shared-memory window (Section 4.2).
+
+    The caller writes a function pointer and arguments into a predefined
+    shared area; the callee VM busy-waits, validates that the pointer is a
+    legal API entry point, services the request on a worker thread from
+    its RPC pool, and writes the return value back.
+    """
+
+    kind = "ept-rpc"
+
+    #: Size of the modelled RPC descriptor (pointer + packed arguments).
+    DESCRIPTOR_BYTES = 64
+
+    def __init__(self, src, dst, costs, window=None, legal_entries=None):
+        super().__init__(src, dst, costs)
+        self.window = window
+        self.legal_entries = legal_entries
+        self.serviced = 0
+
+    def one_way_cost(self):
+        return self.costs.gate_ept
+
+    def call(self, ctx, library, func, args, kwargs):
+        # The RPC server checks the function pointer before executing it:
+        # the EPT backend's stronger CFI (entry *and* exit control).
+        name = getattr(func, "__name__", str(func))
+        declared_entry = getattr(func, "__flexos_entry__", False)
+        if (self.legal_entries is not None and name not in self.legal_entries
+                and not declared_entry):
+            raise EntryPointViolation(name, self.dst.name)
+        self._check_arguments(name, args, kwargs)
+        self.serviced += 1
+        return super().call(ctx, library, func, args, kwargs)
+
+    def _check_arguments(self, name, args, kwargs):
+        """The unmarshalling side's argument sanity check.
+
+        Section 3.3 assumes interfaces "correctly check arguments and are
+        free of confused deputy/Iago situations".  For the RPC server
+        that means: pointer arguments must reference *shared* memory — a
+        caller handing the server a pointer into the server's own private
+        data (hoping the server dereferences it with its own authority)
+        is rejected before the call runs.
+        """
+        for value in list(args) + list(kwargs.values()):
+            if isinstance(value, MemoryObject):
+                region = value.region
+                if region.compartment == self.dst.index:
+                    raise IagoViolation(
+                        "RPC %s to %s passed a pointer to the callee's "
+                        "private %r (confused-deputy attempt)"
+                        % (name, self.dst.name, value.symbol)
+                    )
+
+    def _enter(self, ctx):
+        # Marshal the descriptor into this VM's slice of the window.
+        ctx.clock.charge(self.DESCRIPTOR_BYTES * self.costs.memcpy_per_byte)
+        if self.window is not None:
+            self.window.allocate(self.src.name, self.DESCRIPTOR_BYTES)
+            if self.window.region is not None and ctx.mmu is not None:
+                ctx.mmu.check(ctx, self.window.region, AccessType.WRITE,
+                              symbol="rpc-descriptor")
+        state = ctx.address_space
+        ctx.address_space = self.dst.address_space
+        return state
+
+    def _leave(self, ctx, state):
+        # Return value travels back through the shared window.
+        ctx.clock.charge(8 * self.costs.memcpy_per_byte)
+        ctx.address_space = state
+
+
+class CheriGate(Gate):
+    """Sketch backend: CInvoke + sentry capabilities (Section 4.3)."""
+
+    kind = "cheri"
+
+    def one_way_cost(self):
+        return self.costs.gate_one_way("cheri")
+
+    def _enter(self, ctx):
+        return None
+
+    def _leave(self, ctx, state):
+        pass
+
+
+GATE_KINDS = {
+    cls.kind: cls
+    for cls in (FunctionCallGate, MpkLightGate, MpkFullGate, EptRpcGate,
+                CheriGate)
+}

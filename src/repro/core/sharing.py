@@ -1,0 +1,108 @@
+"""Data-sharing strategies for shared stack variables (Sections 3.1, 4.1).
+
+Three ways to materialise a ``__shared`` stack variable:
+
+* ``shared-stack`` — the whole call stack lives in the shared domain.
+  Fastest and least safe (any compartment can read every local).
+* ``dss`` — Data Shadow Stacks: only the shadows of annotated variables
+  are shared.  Stack-speed allocation, space cost of a doubled stack.
+* ``heap`` — stack-to-heap conversion (the approach of prior work): each
+  shared variable becomes a shared-heap allocation, freed at frame exit.
+  One to two orders of magnitude slower per variable (Fig. 11a).
+
+Each strategy yields frames with a uniform ``alloc``/``close`` interface,
+so the Fig. 11a microbenchmark can drive all three identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hw.memory import MemoryObject
+from repro.kernel.lib import work
+
+
+class SharedStackFrame:
+    """Frame on a fully shared stack: plain stack slots."""
+
+    def __init__(self, stack_region, costs, cursor_box):
+        self._region = stack_region
+        self._costs = costs
+        self._cursor_box = cursor_box
+        self._mark = cursor_box[0]
+
+    def alloc(self, symbol, size=1):
+        offset = self._cursor_box[0]
+        self._cursor_box[0] += size
+        work(self._costs.stack_alloc)
+        return MemoryObject(symbol, self._region, offset)
+
+    def close(self):
+        self._cursor_box[0] = self._mark
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class HeapConvertFrame:
+    """Frame whose shared variables are shared-heap allocations."""
+
+    def __init__(self, shared_heap, costs):
+        self._heap = shared_heap
+        self._costs = costs
+        self._allocations = []
+
+    def alloc(self, symbol, size=1):
+        allocation = self._heap.malloc(size)
+        self._allocations.append(allocation)
+        region = self._heap.region
+        return MemoryObject(symbol, region, allocation.offset)
+
+    def close(self):
+        # Frame exit frees every converted variable (this is the cost the
+        # DSS exists to avoid).
+        while self._allocations:
+            self._allocations.pop().free()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class SharingStrategy:
+    """Factory for frames of one configured sharing strategy."""
+
+    def __init__(self, kind, costs, shared_heap=None, stack_region=None,
+                 dss=None):
+        if kind not in ("heap", "dss", "shared-stack"):
+            raise ConfigError("unknown sharing strategy %r" % kind)
+        self.kind = kind
+        self.costs = costs
+        self.shared_heap = shared_heap
+        self.stack_region = stack_region
+        self.dss = dss
+        self._stack_cursor = [0]
+
+    def frame(self):
+        """Open a frame for shared stack variables."""
+        if self.kind == "dss":
+            if self.dss is None:
+                raise ConfigError("DSS strategy without a DSS instance")
+            return self.dss.frame()
+        if self.kind == "heap":
+            if self.shared_heap is None:
+                raise ConfigError("heap strategy without a shared heap")
+            return HeapConvertFrame(self.shared_heap, self.costs)
+        if self.stack_region is None:
+            raise ConfigError("shared-stack strategy without a stack region")
+        return SharedStackFrame(self.stack_region, self.costs,
+                                self._stack_cursor)
+
+    def __repr__(self):
+        return "SharingStrategy(%s)" % self.kind

@@ -1,0 +1,47 @@
+"""Build-time source transformation toolchain (Sections 3.1-3.2).
+
+The paper's toolchain uses Cscope to find cross-library calls and
+Coccinelle to rewrite sources before compilation.  Here the "sources" are
+an IR (:mod:`repro.core.toolchain.sources`) of functions, call sites and
+annotated variables; the pipeline is:
+
+1. :mod:`repro.core.toolchain.callgraph` — static analysis finds calls
+   that cross library boundaries (the automated gate-insertion step).
+2. :mod:`repro.core.toolchain.transform` — source-to-source replacement
+   of abstract gates and ``__shared`` placeholders with the backend's
+   concrete constructs, with patch-size accounting (Table 1).
+3. :mod:`repro.core.toolchain.linker` — linker-script generation: one
+   data/rodata/bss group per compartment.
+4. :mod:`repro.core.toolchain.verify` — the compile-time checks that keep
+   Coccinelle out of the TCB: invalid transformations are detected.
+5. :mod:`repro.core.toolchain.build` — the driver producing an
+   :class:`~repro.core.image.Image`.
+"""
+
+from repro.core.toolchain.build import build_image
+from repro.core.toolchain.sources import (
+    Call,
+    Compute,
+    FunctionSource,
+    GateStmt,
+    IndirectCall,
+    LibrarySource,
+    SourceTree,
+    StackVar,
+    StaticVar,
+    default_kernel_sources,
+)
+
+__all__ = [
+    "Call",
+    "Compute",
+    "FunctionSource",
+    "GateStmt",
+    "IndirectCall",
+    "LibrarySource",
+    "SourceTree",
+    "StackVar",
+    "StaticVar",
+    "build_image",
+    "default_kernel_sources",
+]

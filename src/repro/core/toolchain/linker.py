@@ -1,0 +1,70 @@
+"""Linker-script generation.
+
+Step (3) of porting a backend: "implementing linker script generation in
+the toolchain".  For MPK images, each compartment receives its own
+``.text``/``.rodata``/``.data``/``.bss`` group (stamped with the
+compartment's protection key by boot code); for EPT, each compartment's
+sections form a standalone VM image that additionally duplicates the TCB.
+A shared data section carries ``__shared`` statics.
+"""
+
+from __future__ import annotations
+
+from repro.core.image import SectionSpec
+from repro.errors import LinkError
+from repro.hw.memory import PAGE_SIZE, page_align_up
+from repro.kernel.lib import LIBRARY_REGISTRY
+
+#: Rough bytes-per-LoC used to size sections from library sizes.
+BYTES_PER_LOC = 32
+
+#: Sections every compartment gets, with their kind.
+SECTION_KINDS = (
+    ("text", "text"),
+    ("rodata", "rodata"),
+    ("data", "data"),
+    ("bss", "bss"),
+)
+
+
+def _library_bytes(libraries):
+    total = 0
+    for name in libraries:
+        lib = LIBRARY_REGISTRY.get(name)
+        total += (lib.loc if lib is not None else 500) * BYTES_PER_LOC
+    return max(total, PAGE_SIZE)
+
+
+def generate_linker_script(config, compartments, backend):
+    """Produce (script_text, [SectionSpec]) for the image."""
+    if not compartments:
+        raise LinkError("no compartments to lay out")
+    lines = ["/* FlexOS generated linker script — backend: %s */"
+             % backend.mechanism, "SECTIONS {"]
+    specs = []
+    for comp in compartments:
+        libraries = list(comp.libraries)
+        if backend.mechanism == "vm-ept":
+            # TCB duplication: every VM image carries the core libraries.
+            libraries += [
+                name for name, lib in LIBRARY_REGISTRY.items()
+                if lib.in_tcb and name not in libraries
+            ]
+        size = page_align_up(_library_bytes(libraries))
+        for suffix, kind in SECTION_KINDS:
+            section_name = ".%s.%s" % (suffix, comp.name)
+            specs.append(SectionSpec(section_name, kind, comp.index,
+                                     size, kind))
+            lines.append("  %s : ALIGN(0x%x) { %s }" % (
+                section_name, PAGE_SIZE,
+                " ".join("*/%s/*(.%s*)" % (lib, suffix)
+                         for lib in libraries) or "/* empty */",
+            ))
+    # The shared communication section (no owning compartment).
+    shared_size = page_align_up(64 * 1024)
+    specs.append(SectionSpec(".data.shared", "shared", None,
+                             shared_size, "data"))
+    lines.append("  .data.shared : ALIGN(0x%x) { *(.data.shared*) }"
+                 % PAGE_SIZE)
+    lines.append("}")
+    return "\n".join(lines), specs

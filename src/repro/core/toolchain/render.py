@@ -1,0 +1,120 @@
+"""Render the source IR as pseudo-C, and transformations as diffs.
+
+A selling point of source-to-source transformation over linker tricks is
+debuggability: "transformations can be visually inspected in a high-level
+language with usual file comparison tools" (Section 3).  This module
+renders a library's IR as pseudo-C and produces the unified diff between
+the pre-port source and the transformed output — the Fig. 3 view.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.core.toolchain.sources import (
+    Call,
+    Compute,
+    DssVar,
+    GateStmt,
+    IndirectCall,
+    SharedHeapVar,
+    StackVar,
+    WrapperStmt,
+)
+
+#: Stack size constant used in the DSS shadow expression.
+_STACK_SIZE_EXPR = "STACK_SIZE"
+
+
+def _render_stmt(stmt):
+    """One statement -> list of pseudo-C lines (sans indentation)."""
+    if isinstance(stmt, Compute):
+        return ["/* ~%d cycles of computation */" % stmt.cycles]
+    if isinstance(stmt, Call):
+        return ["%s();" % stmt.function]
+    if isinstance(stmt, GateStmt):
+        return [
+            "flexos_gate(%s, %s);  /* %s */"
+            % (stmt.library, stmt.function, stmt.kind),
+            "/* registers saved+cleared, domain switched */",
+        ]
+    if isinstance(stmt, IndirectCall):
+        names = ", ".join("%s:%s" % c for c in stmt.candidates)
+        return ["(*fn_ptr)();  /* candidates: %s */" % names]
+    if isinstance(stmt, WrapperStmt):
+        names = ", ".join("%s:%s" % c for c in stmt.original.candidates)
+        return [
+            "/* toolchain-generated gate wrappers for: %s */" % names,
+            "(*fn_ptr_wrapped)();",
+            "/* each target enclosed in the appropriate call gate */",
+        ]
+    if isinstance(stmt, StackVar):
+        decl = "char %s[%d];" % (stmt.name, stmt.size)
+        if stmt.shared:
+            whitelist = ", ".join(stmt.whitelist) or "*"
+            decl = "char %s[%d] __shared(%s);" % (
+                stmt.name, stmt.size, whitelist,
+            )
+        return [decl]
+    if isinstance(stmt, DssVar):
+        return [
+            "char %s[%d];  /* shadow: *(&%s + %s) */"
+            % (stmt.name, stmt.size, stmt.name, _STACK_SIZE_EXPR),
+        ]
+    if isinstance(stmt, SharedHeapVar):
+        return [
+            "char *%s = flexos_malloc_shared(%d);" % (stmt.name, stmt.size),
+            "/* ... */ flexos_free_shared(%s);" % stmt.name,
+        ]
+    return ["/* %r */" % stmt]
+
+
+def render_function(func):
+    """One function -> pseudo-C text."""
+    lines = ["void %s(void)" % func.name, "{"]
+    for stmt in func.body:
+        lines.extend("    " + line for line in _render_stmt(stmt))
+    lines.append("}")
+    return lines
+
+
+def render_library(lib):
+    """One library's IR -> pseudo-C translation unit."""
+    lines = ["/* micro-library: %s */" % lib.name, ""]
+    for var in lib.static_vars:
+        decl = "static char %s[%d]" % (var.name, var.size)
+        if var.section:
+            decl += ' __attribute__((section("%s")))' % var.section
+        elif var.shared:
+            decl += " __shared(%s)" % (", ".join(var.whitelist) or "*")
+        lines.append(decl + ";")
+    if lib.static_vars:
+        lines.append("")
+    for name in sorted(lib.functions):
+        lines.extend(render_function(lib.functions[name]))
+        lines.append("")
+    return lines
+
+
+def render_diff(before_tree, after_tree, library):
+    """Unified diff of one library across the transformation."""
+    before = render_library(before_tree.library(library))
+    after = render_library(after_tree.library(library))
+    diff = difflib.unified_diff(
+        before, after,
+        fromfile="a/%s.c" % library,
+        tofile="b/%s.c (transformed)" % library,
+        lineterm="",
+    )
+    return "\n".join(diff)
+
+
+def render_all_diffs(before_tree, after_tree):
+    """Diffs for every library the transformation touched."""
+    chunks = []
+    for name in sorted(before_tree.libraries):
+        if name in after_tree.libraries:
+            diff = render_diff(before_tree, after_tree, name)
+            if diff:
+                chunks.append(diff)
+    return "\n\n".join(chunks)

@@ -1,0 +1,365 @@
+"""Library-source IR: what the toolchain transforms.
+
+A tiny statement-level model of C sources: functions contain computation,
+direct calls (possibly into other libraries), indirect calls through
+function pointers, and stack-variable declarations; libraries additionally
+declare static variables.  ``__shared`` annotations attach to variables.
+
+The IR is deliberately close to what Coccinelle semantic patches match
+on; the transformation pass rewrites statements in place and counts
+added/removed lines the way ``diffstat`` would, which is how the Table 1
+patch sizes are produced.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Stmt:
+    """Base statement."""
+
+    #: Source lines this statement occupies (for patch accounting).
+    lines = 1
+
+
+class Compute(Stmt):
+    """Straight-line computation worth ``cycles``."""
+
+    def __init__(self, cycles, lines=1):
+        self.cycles = cycles
+        self.lines = lines
+
+    def __repr__(self):
+        return "Compute(%.0f)" % self.cycles
+
+
+class Call(Stmt):
+    """A direct call ``library:function``."""
+
+    def __init__(self, library, function):
+        self.library = library
+        self.function = function
+
+    @property
+    def target(self):
+        return "%s:%s" % (self.library, self.function)
+
+    def __repr__(self):
+        return "Call(%s)" % self.target
+
+
+class IndirectCall(Stmt):
+    """A call through a function pointer.
+
+    The callee cannot be determined statically; the programmer must
+    annotate the candidate targets and the libraries they may be called
+    from (Section 3.1's corner case), and the toolchain generates gate
+    wrappers around them.
+    """
+
+    def __init__(self, candidates=(), annotated_callers=()):
+        self.candidates = tuple(candidates)       # (library, function) pairs
+        self.annotated_callers = tuple(annotated_callers)
+
+    def __repr__(self):
+        return "IndirectCall(%d candidates)" % len(self.candidates)
+
+
+class StackVar(Stmt):
+    """A stack-variable declaration, possibly ``__shared``."""
+
+    def __init__(self, name, size=8, shared=False, whitelist=()):
+        self.name = name
+        self.size = size
+        self.shared = shared
+        self.whitelist = tuple(whitelist)
+
+    def __repr__(self):
+        flag = " __shared" if self.shared else ""
+        return "StackVar(%s[%d]%s)" % (self.name, self.size, flag)
+
+
+class GateStmt(Stmt):
+    """A concrete gate instantiated by the transformation pass."""
+
+    lines = 2  # the inlined gate spans more source than a bare call
+
+    def __init__(self, kind, library, function, original):
+        self.kind = kind
+        self.library = library
+        self.function = function
+        self.original = original
+
+    def __repr__(self):
+        return "GateStmt(%s -> %s:%s)" % (self.kind, self.library,
+                                          self.function)
+
+
+class DssVar(Stmt):
+    """A shared stack variable rewritten to its DSS shadow."""
+
+    def __init__(self, original):
+        self.original = original
+        self.name = original.name
+        self.size = original.size
+
+
+class SharedHeapVar(Stmt):
+    """A shared stack variable converted to a shared-heap allocation."""
+
+    lines = 2  # malloc + free
+
+    def __init__(self, original):
+        self.original = original
+        self.name = original.name
+        self.size = original.size
+
+
+class WrapperStmt(Stmt):
+    """A generated gate wrapper for indirect-call targets."""
+
+    lines = 3
+
+    def __init__(self, original):
+        self.original = original
+
+
+class StaticVar:
+    """A library-level static variable, possibly ``__shared``."""
+
+    def __init__(self, name, size=8, shared=False, whitelist=()):
+        self.name = name
+        self.size = size
+        self.shared = shared
+        self.whitelist = tuple(whitelist)
+        #: Set by the transform when moved to a shared section.
+        self.section = None
+
+    def __repr__(self):
+        flag = " __shared" if self.shared else ""
+        return "StaticVar(%s[%d]%s)" % (self.name, self.size, flag)
+
+
+class FunctionSource:
+    """One function: a named list of statements."""
+
+    def __init__(self, name, library, body=()):
+        self.name = name
+        self.library = library
+        self.body = list(body)
+
+    @property
+    def qualified(self):
+        return "%s:%s" % (self.library, self.name)
+
+    def source_lines(self):
+        return 2 + sum(stmt.lines for stmt in self.body)  # braces + body
+
+    def __repr__(self):
+        return "FunctionSource(%s, %d stmts)" % (self.qualified,
+                                                 len(self.body))
+
+
+class LibrarySource:
+    """One micro-library's sources."""
+
+    def __init__(self, name, functions=(), static_vars=()):
+        self.name = name
+        self.functions = {}
+        for func in functions:
+            self.add_function(func)
+        self.static_vars = list(static_vars)
+
+    def add_function(self, func):
+        if func.library != self.name:
+            raise ConfigError(
+                "function %s added to wrong library %s"
+                % (func.qualified, self.name)
+            )
+        if func.name in self.functions:
+            raise ConfigError("duplicate function %s" % func.qualified)
+        self.functions[func.name] = func
+        return func
+
+    def __repr__(self):
+        return "LibrarySource(%s, %d functions)" % (
+            self.name, len(self.functions),
+        )
+
+
+class SourceTree:
+    """All library sources of one build."""
+
+    def __init__(self, libraries=()):
+        self.libraries = {}
+        for lib in libraries:
+            self.add_library(lib)
+
+    def add_library(self, lib):
+        if lib.name in self.libraries:
+            raise ConfigError("duplicate library %s" % lib.name)
+        self.libraries[lib.name] = lib
+        return lib
+
+    def library(self, name):
+        if name not in self.libraries:
+            raise ConfigError("no sources for library %r" % name)
+        return self.libraries[name]
+
+    def functions(self):
+        for lib in self.libraries.values():
+            for func in lib.functions.values():
+                yield func
+
+    def resolve(self, library, function):
+        lib = self.library(library)
+        func = lib.functions.get(function)
+        if func is None:
+            raise ConfigError("no function %s:%s" % (library, function))
+        return func
+
+    def copy(self):
+        """Deep-enough copy for transformation (statements are rebuilt)."""
+        tree = SourceTree()
+        for lib in self.libraries.values():
+            new_lib = LibrarySource(lib.name)
+            for func in lib.functions.values():
+                new_lib.add_function(
+                    FunctionSource(func.name, func.library, list(func.body))
+                )
+            new_lib.static_vars = [
+                StaticVar(v.name, v.size, v.shared, v.whitelist)
+                for v in lib.static_vars
+            ]
+            tree.add_library(new_lib)
+        return tree
+
+
+def default_kernel_sources():
+    """An IR model of the substrate's real call structure.
+
+    Statement counts mirror the actual cross-library call sites in
+    :mod:`repro.kernel` (socket recv path, VFS dispatch, scheduler
+    wake-ups), so transformation output and Table 1 patch accounting
+    reflect the same boundaries the functional runtime crosses.
+    """
+    lwip = LibrarySource("lwip", functions=[
+        FunctionSource("tcp_input", "lwip", [
+            Compute(600), StackVar("seg_hdr", 20),
+            Call("lwip", "ip_route"), Call("ukalloc", "malloc"),
+            Compute(200),
+        ]),
+        FunctionSource("ip_route", "lwip", [Compute(90)]),
+        FunctionSource("tcp_recv", "lwip", [
+            Compute(50),
+            StackVar("rx_buf", 1460, shared=True,
+                     whitelist=("newlib", "app")),
+            StackVar("recv_flags", 4, shared=True,
+                     whitelist=("newlib", "app")),
+        ]),
+        FunctionSource("tcp_send", "lwip", [
+            Compute(300),
+            StackVar("tx_buf", 1460, shared=True,
+                     whitelist=("newlib", "app")),
+            StackVar("tx_len", 4, shared=True,
+                     whitelist=("newlib", "app")),
+            Call("lwip", "driver_xmit"),
+        ]),
+        FunctionSource("pbuf_alloc", "lwip", [
+            Compute(60), Call("ukalloc", "malloc"),
+            StackVar("pbuf_hdr", 16, shared=True, whitelist=("newlib",)),
+        ]),
+        FunctionSource("pbuf_free", "lwip", [
+            Compute(40), Call("ukalloc", "free"),
+        ]),
+        FunctionSource("sys_timeout", "lwip", [
+            Compute(30), Call("uktime", "monotonic_ns"),
+        ]),
+        FunctionSource("driver_xmit", "lwip", [Compute(150)]),
+        FunctionSource("netif_poll", "lwip", [
+            Compute(80), Call("lwip", "tcp_input"),
+        ]),
+    ], static_vars=[
+        StaticVar("pcb_table", 2048),
+        StaticVar("netif_mtu", 4, shared=True, whitelist=("newlib",)),
+        StaticVar("socket_table", 512, shared=True,
+                  whitelist=("newlib", "app")),
+        StaticVar("dns_cache", 256, shared=True, whitelist=("newlib",)),
+    ])
+
+    uksched = LibrarySource("uksched", functions=[
+        FunctionSource("yield", "uksched", [Compute(40)]),
+        FunctionSource("wake", "uksched", [
+            Compute(40), StackVar("waiter", 8, shared=True,
+                                  whitelist=("newlib", "app")),
+        ]),
+        FunctionSource("create_thread", "uksched", [
+            Compute(60), Call("ukalloc", "malloc"),
+        ]),
+        FunctionSource("ctx_switch", "uksched", [Compute(120)]),
+    ], static_vars=[
+        StaticVar("run_queue", 256, shared=True, whitelist=("*",)),
+    ])
+
+    vfscore = LibrarySource("vfscore", functions=[
+        FunctionSource("vfs_open", "vfscore", [
+            Compute(150), Call("ramfs", "ramfs_lookup"),
+            StackVar("path_buf", 256, shared=True, whitelist=("app",)),
+        ]),
+        FunctionSource("vfs_read", "vfscore", [
+            Compute(150), Call("ramfs", "ramfs_read"),
+            StackVar("io_vec", 64, shared=True, whitelist=("app",)),
+        ]),
+        FunctionSource("vfs_write", "vfscore", [
+            Compute(150), Call("ramfs", "ramfs_write"),
+        ]),
+        FunctionSource("vfs_fsync", "vfscore", [
+            Compute(300), Call("ramfs", "ramfs_sync"),
+        ]),
+    ], static_vars=[
+        StaticVar("fd_table", 1024),
+        StaticVar("mount_table", 128, shared=True, whitelist=("ramfs",)),
+    ])
+
+    ramfs = LibrarySource("ramfs", functions=[
+        FunctionSource("ramfs_lookup", "ramfs", [Compute(80)]),
+        FunctionSource("ramfs_read", "ramfs", [Compute(80)]),
+        FunctionSource("ramfs_write", "ramfs", [Compute(80)]),
+        FunctionSource("ramfs_sync", "ramfs", [Compute(40)]),
+    ], static_vars=[
+        StaticVar("inode_table", 4096, shared=True, whitelist=("vfscore",)),
+    ])
+
+    uktime = LibrarySource("uktime", functions=[
+        FunctionSource("monotonic_ns", "uktime", [Compute(25)]),
+        FunctionSource("wall_clock_ns", "uktime", [Compute(25)]),
+    ])
+
+    ukalloc = LibrarySource("ukalloc", functions=[
+        FunctionSource("malloc", "ukalloc", [Compute(110)]),
+        FunctionSource("free", "ukalloc", [Compute(60)]),
+    ])
+
+    newlib = LibrarySource("newlib", functions=[
+        FunctionSource("recv", "newlib", [
+            Compute(30), Call("lwip", "tcp_recv"),
+            Call("uksched", "yield"),
+        ]),
+        FunctionSource("send", "newlib", [
+            Compute(30), Call("lwip", "tcp_send"),
+        ]),
+        FunctionSource("read", "newlib", [
+            Compute(20), Call("vfscore", "vfs_read"),
+        ]),
+        FunctionSource("write", "newlib", [
+            Compute(20), Call("vfscore", "vfs_write"),
+        ]),
+        FunctionSource("malloc", "newlib", [Call("ukalloc", "malloc")]),
+        FunctionSource("gettimeofday", "newlib", [
+            Call("uktime", "wall_clock_ns"),
+        ]),
+    ])
+
+    return SourceTree([lwip, uksched, vfscore, ramfs, uktime, ukalloc,
+                       newlib])

@@ -1,0 +1,174 @@
+"""Source-to-source transformation (the Coccinelle step).
+
+Walks the IR and, per the chosen configuration and backend:
+
+* replaces cross-*compartment* calls with concrete :class:`GateStmt`s
+  (cross-library calls within one compartment stay plain calls — "the
+  result is similar to the code prior porting, resulting in zero
+  overhead", Fig. 3);
+* materialises ``__shared`` stack variables per the sharing strategy
+  (DSS rewrite or stack-to-heap conversion);
+* moves ``__shared`` statics into the shared data section;
+* generates gate wrappers for annotated indirect-call targets.
+
+Patch sizes are accounted per library the way ``diffstat`` counts a
+unified diff, producing the Table 1 numbers for our substrate.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import AnnotationRegistry
+from repro.core.toolchain.callgraph import unannotated_indirect_calls
+from repro.core.toolchain.sources import (
+    Call,
+    DssVar,
+    GateStmt,
+    IndirectCall,
+    SharedHeapVar,
+    StackVar,
+    WrapperStmt,
+)
+from repro.errors import TransformError
+
+
+class PatchStats:
+    """diffstat-style accounting for one library."""
+
+    def __init__(self):
+        self.added = 0
+        self.removed = 0
+
+    def replace(self, old_lines, new_lines):
+        self.removed += old_lines
+        self.added += new_lines
+
+    def add(self, lines):
+        self.added += lines
+
+    def __repr__(self):
+        return "+%d / -%d" % (self.added, self.removed)
+
+
+class TransformReport:
+    """Everything the transformation pass produced."""
+
+    def __init__(self):
+        self.patches = {}            # library -> PatchStats
+        self.gates_inserted = 0
+        self.dss_rewrites = 0
+        self.heap_conversions = 0
+        self.static_moves = 0
+        self.wrappers = 0
+        self.rules = ()
+
+    def stats_for(self, library):
+        if library not in self.patches:
+            self.patches[library] = PatchStats()
+        return self.patches[library]
+
+    def patch_size(self, library):
+        stats = self.patches.get(library)
+        return (stats.added, stats.removed) if stats else (0, 0)
+
+
+def _gate_kind(config, backend):
+    if config.mechanism == "none":
+        return "function-call"
+    if config.mechanism == "intel-mpk":
+        return "mpk-light" if config.mpk_gate == "light" else "mpk-full"
+    if config.mechanism == "vm-ept":
+        return "ept-rpc"
+    if config.mechanism == "intel-sgx":
+        return "sgx-ecall"
+    return "cheri"
+
+
+def transform(tree, config, backend):
+    """Transform ``tree`` for ``config``; returns (new_tree, report).
+
+    The input tree is not modified.
+    """
+    missing = unannotated_indirect_calls(tree)
+    if missing:
+        func, stmt = missing[0]
+        raise TransformError(
+            "indirect call in %s has unannotated cross-library candidates; "
+            "annotate the pointed-to functions with their callers"
+            % func.qualified
+        )
+
+    out = tree.copy()
+    report = TransformReport()
+    report.rules = backend.transform_rules()
+    annotations = AnnotationRegistry()
+    gate_kind = _gate_kind(config, backend)
+
+    for lib in out.libraries.values():
+        stats = report.stats_for(lib.name)
+        # Static variables: shared ones move to the shared section.
+        for var in lib.static_vars:
+            if var.shared:
+                annotations.annotate(var.name, lib.name, var.whitelist,
+                                     storage="static")
+                if config.n_compartments > 1:
+                    var.section = ".data.shared"
+                    stats.replace(1, 1)
+                    report.static_moves += 1
+
+        for func in lib.functions.values():
+            new_body = []
+            for stmt in func.body:
+                new_body.append(
+                    _transform_stmt(stmt, func, config, gate_kind,
+                                    annotations, report, stats)
+                )
+            func.body = new_body
+
+    return out, report, annotations
+
+
+def _transform_stmt(stmt, func, config, gate_kind, annotations, report,
+                    stats):
+    if isinstance(stmt, Call):
+        if stmt.library == func.library:
+            return stmt
+        if config.same_compartment(stmt.library, func.library):
+            # Cross-library but intra-compartment: plain call survives.
+            return stmt
+        gate = GateStmt(gate_kind, stmt.library, stmt.function, stmt)
+        stats.replace(stmt.lines, gate.lines)
+        report.gates_inserted += 1
+        return gate
+
+    if isinstance(stmt, IndirectCall):
+        crossing = any(
+            not config.same_compartment(lib, func.library)
+            for lib, _ in stmt.candidates
+        )
+        if crossing:
+            wrapper = WrapperStmt(stmt)
+            stats.replace(stmt.lines, wrapper.lines)
+            report.wrappers += 1
+            return wrapper
+        return stmt
+
+    if isinstance(stmt, StackVar) and stmt.shared:
+        annotations.annotate(stmt.name, func.library, stmt.whitelist,
+                             storage="stack")
+        if config.n_compartments == 1:
+            return stmt  # nothing to isolate from
+        if config.sharing == "dss":
+            rewritten = DssVar(stmt)
+            stats.replace(stmt.lines, rewritten.lines)
+            report.dss_rewrites += 1
+            return rewritten
+        if config.sharing == "heap":
+            converted = SharedHeapVar(stmt)
+            stats.replace(stmt.lines, converted.lines)
+            report.heap_conversions += 1
+            return converted
+        # shared-stack: the declaration itself is untouched; the whole
+        # stack lands in the shared domain via the linker script.
+        return stmt
+
+    return stmt

@@ -1,0 +1,91 @@
+"""Compile-time transformation checks.
+
+"The rest of the toolchain (Coccinelle included) is *not* part of the TCB
+as the code includes compile time checks that are able to detect invalid
+transformations" (Section 3.3).  These are those checks: run after
+transformation, they fail the build rather than trust the rewriter.
+"""
+
+from __future__ import annotations
+
+from repro.core.toolchain.sources import (
+    Call,
+    DssVar,
+    GateStmt,
+    SharedHeapVar,
+    StackVar,
+)
+from repro.errors import TransformError
+
+
+def verify_transform(tree, config, annotations):
+    """Validate a transformed tree against the configuration.
+
+    Checks:
+      1. no raw cross-compartment call survived;
+      2. every inserted gate actually crosses compartments, and its kind
+         matches the configured mechanism/flavour;
+      3. every rewritten shared variable carries an annotation whose
+         whitelist names existing libraries;
+      4. a shared stack variable only survives unrewritten if the image is
+         single-compartment or uses the shared-stack strategy.
+    """
+    known_libraries = set(tree.libraries)
+
+    for func in tree.functions():
+        for stmt in func.body:
+            if isinstance(stmt, Call):
+                if (stmt.library != func.library
+                        and not config.same_compartment(stmt.library,
+                                                        func.library)):
+                    raise TransformError(
+                        "ungated cross-compartment call %s -> %s"
+                        % (func.qualified, stmt.target)
+                    )
+            elif isinstance(stmt, GateStmt):
+                if config.same_compartment(stmt.library, func.library):
+                    raise TransformError(
+                        "spurious gate inside one compartment: %s -> %s:%s"
+                        % (func.qualified, stmt.library, stmt.function)
+                    )
+                expected = _expected_kind(config)
+                if stmt.kind != expected:
+                    raise TransformError(
+                        "gate kind %s does not match configuration (%s)"
+                        % (stmt.kind, expected)
+                    )
+            elif isinstance(stmt, (DssVar, SharedHeapVar)):
+                annotation = annotations.lookup(func.library,
+                                                stmt.original.name)
+                if annotation is None:
+                    raise TransformError(
+                        "rewritten variable %s in %s lacks an annotation"
+                        % (stmt.original.name, func.qualified)
+                    )
+                for entry in annotation.whitelist:
+                    if entry != "*" and entry not in known_libraries \
+                            and entry != "app":
+                        raise TransformError(
+                            "whitelist of %s names unknown library %r"
+                            % (stmt.original.name, entry)
+                        )
+            elif isinstance(stmt, StackVar) and stmt.shared:
+                if (config.n_compartments > 1
+                        and config.sharing != "shared-stack"):
+                    raise TransformError(
+                        "shared stack variable %s in %s was not rewritten"
+                        % (stmt.name, func.qualified)
+                    )
+    return True
+
+
+def _expected_kind(config):
+    if config.mechanism == "none":
+        return "function-call"
+    if config.mechanism == "intel-mpk":
+        return "mpk-light" if config.mpk_gate == "light" else "mpk-full"
+    if config.mechanism == "vm-ept":
+        return "ept-rpc"
+    if config.mechanism == "intel-sgx":
+        return "sgx-ecall"
+    return "cheri"

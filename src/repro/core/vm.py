@@ -1,0 +1,244 @@
+"""Machines and booted FlexOS instances.
+
+:class:`Machine` bundles the simulated hardware (clock, cost model,
+physical memory, MMU).  :class:`FlexOSInstance` boots an
+:class:`~repro.core.image.Image` on a machine: the ``ukboot`` plan runs
+TCB steps first (protection setup, memory manager, scheduler), then brings
+up the remaining subsystems, and finally installs the gate router on the
+execution context.  ``instance.run()`` is the context manager under which
+application code executes with full isolation semantics.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.backends import get_backend
+from repro.core.dss import DataShadowStack
+from repro.core.image import Router
+from repro.core.sharing import SharingStrategy
+from repro.errors import BuildError, ConfigError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext, use_context
+from repro.hw.memory import MemoryObject, PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.kernel.boot import BootPlan
+from repro.kernel.fs import RamFs, Vfs
+from repro.kernel.irq import InterruptController
+from repro.kernel.libc import Libc
+from repro.kernel.memmgr import MemoryManager
+from repro.kernel.net import NetworkStack
+from repro.kernel.sched import Scheduler
+from repro.kernel.uktime import TimeSubsystem
+
+
+class Machine:
+    """The simulated host: clock, costs, memory, MMU."""
+
+    def __init__(self, costs=None):
+        self.costs = costs or CostModel.xeon_4114()
+        self.clock = Clock()
+        self.memory = PhysicalMemory()
+        self.mmu = MMU(self.memory, self.costs)
+
+
+class FlexOSInstance:
+    """One booted FlexOS image."""
+
+    def __init__(self, image, machine=None, allocator="tlsf",
+                 net_device=None, ip="10.0.0.2"):
+        self.image = image
+        self.machine = machine or Machine()
+        self.allocator_kind = allocator
+        self.net_device = net_device
+        self.ip = ip
+
+        self.costs = self.machine.costs
+        self.clock = self.machine.clock
+        self.memory = self.machine.memory
+        self.mmu = self.machine.mmu
+
+        self.backend = get_backend(image.backend_name)
+        self.ctx = ExecutionContext(
+            self.clock, self.costs, self.mmu,
+            compartment=image.compartment_of("ukboot").index,
+        )
+        self.ctx.work_multiplier = image.work_multiplier
+
+        self.memmgr = MemoryManager(self.memory, allocator_kind=allocator)
+        self.sched = None
+        self.time = None
+        self.irq = None
+        self.vfs = None
+        self.libc = None
+        self.net = None
+        self.router = None
+        self.shared_pkey = 0
+        self.shared_window = None
+        self.boot_plan = None
+        self._section_regions = {}   # section name -> Region
+        self._data_region_of = {}    # compartment index -> Region
+        self._shared_region = None
+        self._booted = False
+
+    # -- hooks used by backends ------------------------------------------------
+    def add_section_region(self, section, pkey, perm):
+        """Create the memory region backing one linker section."""
+        region = self.memory.add_region(
+            section.name, section.size, perm=perm, pkey=pkey,
+            compartment=section.compartment_index, kind=section.kind,
+        )
+        self._section_regions[section.name] = region
+        if section.kind == "data" and section.compartment_index is not None:
+            self._data_region_of[section.compartment_index] = region
+        if section.kind == "shared":
+            self._shared_region = region
+        return region
+
+    def provide_stack(self, thread, comp):
+        """Create (lazily) a thread's stack in ``comp``; returns it.
+
+        Used both by the scheduler's thread-create hook and by the full
+        MPK gate's stack registry on first cross-compartment entry.
+        """
+        existing = thread.stack_for(comp.index)
+        if existing is not None:
+            return existing
+        stack, dss_region = self.memmgr.create_stack(
+            thread.name, comp.index,
+            pkey=comp.pkey if comp.pkey is not None else 0,
+            with_dss=self.image.config.sharing == "dss",
+        )
+        thread.stacks[comp.index] = stack
+        if dss_region is not None:
+            thread.dss[comp.index] = DataShadowStack(
+                stack, dss_region, self.costs,
+            )
+        self.backend.on_stack_created(self, comp, stack, dss_region)
+        return stack
+
+    # -- boot --------------------------------------------------------------------
+    def boot(self):
+        """Run the ukboot plan; returns self (fluent)."""
+        if self._booted:
+            raise BuildError("instance already booted")
+        plan = BootPlan()
+        plan.add("setup-protection",
+                 lambda: self.backend.setup_domains(self), tcb=True)
+        plan.add("init-memory", self._init_memory, tcb=True)
+        plan.add("init-sched", self._init_sched, tcb=True)
+        plan.add("init-irq", self._init_irq, tcb=True)
+        plan.add("init-time", self._init_time)
+        plan.add("init-fs", self._init_fs)
+        if self.net_device is not None:
+            plan.add("init-net", self._init_net)
+        plan.add("install-router", self._install_router)
+        self.boot_plan = plan
+        with use_context(self.ctx):
+            plan.run()
+        self._booted = True
+        return self
+
+    def _init_memory(self):
+        for comp in self.image.compartments:
+            heap = self.memmgr.create_heap(
+                comp.index,
+                pkey=comp.pkey if comp.pkey is not None else 0,
+                kind=comp.spec.allocator,  # None -> the instance default
+            )
+            self.backend.on_heap_created(self, comp, heap.region)
+        shared = self.memmgr.create_shared_heap(self.shared_pkey)
+        self.backend.on_heap_created(self, None, shared.region)
+
+    def _init_sched(self):
+        self.sched = Scheduler(self.clock, self.costs)
+        # Every thread gets its home-compartment stack (doubled with a
+        # DSS when the sharing strategy asks for one); the backend's
+        # thread-create hook then applies mechanism-specific setup.
+        self.sched.register_hook(
+            "thread_create",
+            lambda thread: self.provide_stack(
+                thread, self.image.compartments[thread.home_compartment],
+            ),
+        )
+        self.backend.install_hooks(self)
+
+    def _init_irq(self):
+        self.irq = InterruptController(self.clock, self.costs)
+
+    def _init_time(self):
+        self.time = TimeSubsystem(self.clock, self.costs)
+
+    def _init_fs(self):
+        ramfs = RamFs(self.costs, time_subsystem=None)
+        self.vfs = Vfs(ramfs, self.costs)
+
+    def _init_net(self):
+        self.net = NetworkStack(self.net_device, self.ip, self.costs,
+                                self.clock)
+        # First-level NIC interrupt: the handler pumps the stack (the
+        # blocking socket layer also polls, NAPI-style; both paths share
+        # the same entry point so the crossing attribution is identical).
+        self.irq.register(
+            InterruptController.IRQ_NET,
+            lambda payload: self.net.pump(),
+        )
+
+    def _install_router(self):
+        gates = self.backend.build_gates(self)
+        self.router = Router(self.image, gates, self.costs)
+        self.ctx.router = self.router
+        self.libc = Libc(
+            self.costs, memmgr=self.memmgr,
+            default_compartment=self.image.compartment_of("newlib").index,
+        )
+
+    # -- running ------------------------------------------------------------------
+    @contextmanager
+    def run(self):
+        """Execute application code under this instance's context."""
+        if not self._booted:
+            raise BuildError("boot() the instance before run()")
+        with use_context(self.ctx):
+            yield self
+
+    # -- data helpers ----------------------------------------------------------
+    def shared_object(self, symbol, value=None):
+        """A MemoryObject in the shared data section (any compartment)."""
+        if self._shared_region is None:
+            raise ConfigError("image has no shared data section")
+        return MemoryObject(symbol, self._shared_region, value=value)
+
+    def private_object(self, library, symbol, value=None):
+        """A MemoryObject in ``library``'s compartment data section."""
+        comp = self.image.compartment_of(library)
+        region = self._data_region_of.get(comp.index)
+        if region is None:
+            raise ConfigError(
+                "compartment %s has no data section" % comp.name
+            )
+        return MemoryObject(symbol, region, value=value, library=library)
+
+    def sharing_for(self, thread):
+        """The configured sharing strategy, bound to ``thread``."""
+        config = self.image.config
+        comp_index = thread.home_compartment
+        dss = thread.dss.get(comp_index)
+        stack = thread.stack_for(comp_index)
+        return SharingStrategy(
+            config.sharing, self.costs,
+            shared_heap=self.memmgr.shared_heap
+            if self.memmgr.has_shared_heap else None,
+            stack_region=stack, dss=dss,
+        )
+
+    # -- introspection --------------------------------------------------------
+    def gate_crossings(self):
+        """Total cross-compartment transitions since boot."""
+        return self.ctx.total_transitions()
+
+    def __repr__(self):
+        return "FlexOSInstance(%s, booted=%s)" % (
+            self.image.config.name, self._booted,
+        )

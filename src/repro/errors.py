@@ -1,0 +1,144 @@
+"""Exception hierarchy for the FlexOS reproduction.
+
+Every error raised by the simulated hardware, the kernel substrate, the
+FlexOS core, or the toolchain derives from :class:`ReproError` so callers
+can catch the whole family at once.  Faults that model *hardware* behaviour
+(e.g. an MPK key mismatch) carry enough structured context for the porting
+workflow (see :mod:`repro.porting.workflow`) to act on them the way a
+developer acts on a crash report.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A safety configuration is malformed or internally inconsistent."""
+
+
+class BuildError(ReproError):
+    """The toolchain could not produce an image from the configuration."""
+
+
+class TransformError(BuildError):
+    """A source-to-source transformation produced invalid output.
+
+    The paper keeps Coccinelle out of the TCB because compile-time checks
+    detect invalid transformations; this exception is those checks firing.
+    """
+
+
+class LinkError(BuildError):
+    """Linker-script generation failed (e.g. section/compartment mismatch)."""
+
+
+class ProtectionFault(ReproError):
+    """A memory access violated the current protection domain.
+
+    Models an MPK page fault (key mismatch) or an EPT violation (page not
+    mapped in the accessing VM's address space).
+
+    Attributes:
+        symbol: name of the variable or buffer that was touched.
+        accessor: compartment id of the code performing the access.
+        owner: compartment id owning the data.
+        access: "read", "write" or "exec".
+        library: micro-library whose code performed the access, if known.
+        owner_library: micro-library that owns the data, if known (this
+            is the library the porting workflow annotates).
+    """
+
+    def __init__(self, symbol, accessor, owner, access="read", library=None,
+                 owner_library=None):
+        self.symbol = symbol
+        self.accessor = accessor
+        self.owner = owner
+        self.access = access
+        self.library = library
+        self.owner_library = owner_library
+        super().__init__(
+            "protection fault: %s access to %r (owner comp%s) from comp%s%s"
+            % (
+                access,
+                symbol,
+                owner,
+                accessor,
+                " in %s" % library if library else "",
+            )
+        )
+
+
+class EntryPointViolation(ReproError):
+    """A compartment was entered at an address that is not a legal gate.
+
+    Both backends provide this form of CFI: MPK because gates are hardcoded
+    at build time, EPT because the RPC server validates function pointers.
+    """
+
+    def __init__(self, function, compartment):
+        self.function = function
+        self.compartment = compartment
+        super().__init__(
+            "illegal entry point %r for compartment %s" % (function, compartment)
+        )
+
+
+class HardeningViolation(ReproError):
+    """Base class for errors detected by a software hardening mechanism."""
+
+
+class KasanViolation(HardeningViolation):
+    """KASan detected an out-of-bounds or use-after-free access."""
+
+
+class UbsanViolation(HardeningViolation):
+    """UBSan detected undefined behaviour (e.g. signed overflow)."""
+
+
+class CfiViolation(HardeningViolation):
+    """CFI rejected an indirect-call target."""
+
+
+class StackSmashDetected(HardeningViolation):
+    """The stack protector found a clobbered canary on function return."""
+
+
+class IagoViolation(ReproError):
+    """An RPC argument tried to confuse the callee (Iago-style attack).
+
+    Section 3.3 assumes "interfaces correctly check arguments and are
+    free of confused deputy/Iago situations"; the EPT RPC server enforces
+    the check this assumption rests on: pointer arguments must reference
+    shared memory, never the callee's private data.
+    """
+
+
+class AllocationError(ReproError):
+    """An allocator could not satisfy a request."""
+
+
+class InvalidFree(ReproError):
+    """free() was called on a pointer the allocator does not own."""
+
+
+class FsError(ReproError):
+    """A filesystem operation failed (POSIX-style errno in ``errno``)."""
+
+    def __init__(self, errno, message):
+        self.errno = errno
+        super().__init__("%s (errno %d)" % (message, errno))
+
+
+class NetworkError(ReproError):
+    """A network-stack operation failed."""
+
+
+class SchedulerError(ReproError):
+    """The scheduler was asked to do something impossible."""
+
+
+class ExplorationError(ReproError):
+    """The design-space explorer was misused (e.g. empty budget set)."""

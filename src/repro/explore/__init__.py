@@ -1,0 +1,31 @@
+"""Design-space exploration: partial safety ordering (Section 5).
+
+* :mod:`repro.explore.configspace` — enumerates the Fig. 6 configuration
+  space (5 compartmentalization strategies x 2^4 per-component hardening
+  = 80 configurations per application).
+* :mod:`repro.explore.safety` — the probabilistic safety partial order
+  over configurations (compartment refinement, data isolation, stackable
+  hardening, mechanism strength).
+* :mod:`repro.explore.poset` — the configuration poset as a networkx DAG.
+* :mod:`repro.explore.explorer` — performance labelling with monotone
+  pruning and maximal-element extraction under a performance budget.
+"""
+
+from repro.explore.configspace import (
+    FIG6_STRATEGIES,
+    generate_fig6_space,
+    hardening_subsets,
+)
+from repro.explore.explorer import ExplorationResult, explore
+from repro.explore.poset import ConfigPoset
+from repro.explore.safety import safety_leq
+
+__all__ = [
+    "ConfigPoset",
+    "ExplorationResult",
+    "FIG6_STRATEGIES",
+    "explore",
+    "generate_fig6_space",
+    "hardening_subsets",
+    "safety_leq",
+]

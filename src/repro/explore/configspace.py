@@ -1,0 +1,123 @@
+"""The Fig. 6 / Fig. 8 configuration space.
+
+Five compartmentalization strategies (the "5 basic compartmentalization
+strategies" visible as branches in Fig. 8) crossed with independent
+hardening toggles on the four components (TCP/IP stack, libc, scheduler,
+application) give 5 x 2^4 = 80 configurations per application.  Isolation
+is fixed to MPK with DSS, as in Section 6.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.apps.base import COMPONENTS, ComponentLayout
+from repro.core.hardening import FIG6_HARDENING
+
+#: The five strategies, keyed as in Fig. 8's discussion.  The first group
+#: of each partition is the default compartment ("the rest of the
+#: system"); unlisted kernel components implicitly live there.
+FIG6_STRATEGIES = {
+    "A": ({"lwip", "newlib", "uksched", "app"},),
+    "B": ({"lwip", "newlib", "app"}, {"uksched"}),
+    "C": ({"newlib", "uksched", "app"}, {"lwip"}),
+    "D": ({"lwip", "uksched"}, {"app", "newlib"}),
+    "E": ({"newlib", "app"}, {"lwip"}, {"uksched"}),
+}
+
+
+def hardening_subsets(components=COMPONENTS, block=FIG6_HARDENING):
+    """All 2^n per-component hardening assignments of the Fig. 6 block."""
+    assignments = []
+    for mask in itertools.product((False, True), repeat=len(components)):
+        assignments.append({
+            component: (block if enabled else frozenset())
+            for component, enabled in zip(components, mask)
+        })
+    return assignments
+
+
+def layout_name(strategy, hardening):
+    """Stable display name, e.g. ``C/lwip+app`` (hardened components)."""
+    hardened = [c for c in COMPONENTS if hardening.get(c)]
+    return "%s/%s" % (strategy, "+".join(hardened) if hardened else "none")
+
+
+def generate_fig6_space(mechanism="intel-mpk", mpk_gate="full",
+                        sharing="dss"):
+    """The 80 Fig. 6 configurations as :class:`ComponentLayout` objects."""
+    layouts = []
+    for strategy, partition in sorted(FIG6_STRATEGIES.items()):
+        for hardening in hardening_subsets():
+            layouts.append(ComponentLayout(
+                layout_name(strategy, hardening),
+                partition,
+                hardening=hardening,
+                # A single group means no isolation at all.
+                mechanism=mechanism if len(partition) > 1 else "none",
+                mpk_gate=mpk_gate,
+                sharing=sharing,
+            ))
+    return layouts
+
+
+def strategy_of(layout):
+    """The strategy key (``A``..``E``) of a Fig. 6 layout."""
+    return layout.name.split("/", 1)[0]
+
+
+def _partitions_up_to(items, max_groups):
+    """All set partitions of ``items`` into at most ``max_groups`` blocks."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _partitions_up_to(rest, max_groups):
+        # Put `first` into each existing block...
+        for index in range(len(partial)):
+            yield (
+                partial[:index]
+                + [partial[index] | {first}]
+                + partial[index + 1:]
+            )
+        # ... or into a block of its own.
+        if len(partial) < max_groups:
+            yield partial + [{first}]
+
+
+def generate_full_space(components=COMPONENTS, max_compartments=3,
+                        mechanism="intel-mpk", mpk_gate="full",
+                        sharing="dss", hardening_block=FIG6_HARDENING):
+    """The *full* design space the paper says Fig. 6 samples from.
+
+    Every partition of the components into at most ``max_compartments``
+    groups (the "rest of the system" is the group containing no listed
+    component, or the first group), crossed with per-component hardening.
+    For the four Fig. 6 components and 3 compartments this yields
+    14 partitions x 16 hardening assignments = 224 configurations —
+    the combinatorial explosion partial safety ordering exists to tame.
+    """
+    layouts = []
+    seen = set()
+    for index, partition in enumerate(
+        _partitions_up_to(components, max_compartments)
+    ):
+        groups = tuple(frozenset(g) for g in sorted(
+            partition, key=lambda g: sorted(g),
+        ))
+        if groups in seen:
+            continue
+        seen.add(groups)
+        for hardening in hardening_subsets(components, hardening_block):
+            name = "P%02d/%s" % (
+                index,
+                "+".join(c for c in components if hardening.get(c))
+                or "none",
+            )
+            layouts.append(ComponentLayout(
+                name, groups, hardening=hardening,
+                mechanism=mechanism if len(groups) > 1 else "none",
+                mpk_gate=mpk_gate, sharing=sharing,
+            ))
+    return layouts

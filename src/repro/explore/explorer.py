@@ -1,0 +1,83 @@
+"""Performance labelling and budget pruning (Section 5, "in practice").
+
+The user supplies a measurement function (the test script: wrk,
+redis-benchmark, ...) and a performance budget.  The explorer walks the
+poset from the least-safe (fastest) configurations outward; assuming
+performance decreases monotonically as safety increases, it "can safely
+stop evaluating a path as soon as a threshold is reached" — any
+configuration with a failing ancestor is pruned unmeasured.  The answer
+is the set of *maximal elements* among configurations meeting the budget
+(the green sinks of Fig. 5, the stars of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExplorationError
+from repro.explore.poset import ConfigPoset
+
+
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    def __init__(self, poset, budget):
+        self.poset = poset
+        self.budget = budget
+        #: name -> measured performance (higher is better).
+        self.measurements = {}
+        #: Configurations skipped thanks to monotone pruning.
+        self.pruned = set()
+        #: Configurations meeting the budget.
+        self.passing = set()
+        #: The answer: safest configurations meeting the budget.
+        self.recommended = []
+
+    @property
+    def evaluations(self):
+        return len(self.measurements)
+
+    def summary(self):
+        return {
+            "configurations": len(self.poset),
+            "evaluated": self.evaluations,
+            "pruned": len(self.pruned),
+            "passing": len(self.passing),
+            "recommended": sorted(self.recommended),
+            "budget": self.budget,
+        }
+
+
+def explore(layouts, measure, budget, assume_monotonic=True):
+    """Find the safest configurations with performance >= ``budget``.
+
+    Args:
+        layouts: iterable of :class:`~repro.apps.base.ComponentLayout`.
+        measure: callable(layout) -> performance (higher is better).
+        budget: minimum acceptable performance.
+        assume_monotonic: enable path pruning (disable to verify the
+            assumption — the ablation benchmark does exactly that).
+
+    Returns an :class:`ExplorationResult`.
+    """
+    layouts = list(layouts)
+    if not layouts:
+        raise ExplorationError("nothing to explore")
+    poset = ConfigPoset(layouts)
+    result = ExplorationResult(poset, budget)
+    failed = set()
+
+    for name in poset.topological_order():
+        if assume_monotonic and (poset.less_safe_than(name) & failed):
+            # Some less-safe configuration already misses the budget; this
+            # one can only be slower.
+            result.pruned.add(name)
+            failed.add(name)
+            continue
+        performance = measure(poset.layouts[name])
+        result.measurements[name] = performance
+        if performance >= budget:
+            result.passing.add(name)
+        else:
+            failed.add(name)
+
+    result.recommended = sorted(poset.maximal_elements(result.passing))
+    return result

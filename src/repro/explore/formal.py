@@ -1,0 +1,130 @@
+"""Certificate checking for exploration results.
+
+The paper's future work asks for "a formal basis to help users navigate
+the safety configuration space".  This module is a small step in that
+direction: an :class:`ExplorationResult` can be *certified* — every claim
+the explorer makes is re-checked from first principles against the safety
+order, independently of how the exploration ran:
+
+C1 (soundness)      every recommended configuration was measured and
+                    meets the budget;
+C2 (maximality)     no configuration strictly safer than a recommended
+                    one meets the budget;
+C3 (completeness)   every measured, passing, safety-maximal configuration
+                    is recommended;
+C4 (prune safety)   every pruned configuration has a measured, failing
+                    configuration below it in the safety order (so under
+                    the monotonicity assumption it cannot pass);
+C5 (coverage)       measured + pruned together cover the whole space.
+
+A certificate that verifies means the *answer* is right even if the
+explorer's traversal logic were buggy — the checking logic only relies on
+:func:`repro.explore.safety.safety_leq`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExplorationError
+
+
+class Certificate:
+    """The outcome of certifying one exploration result."""
+
+    CLAIMS = ("soundness", "maximality", "completeness", "prune-safety",
+              "coverage")
+
+    def __init__(self):
+        self.verified = {claim: False for claim in self.CLAIMS}
+        self.violations = []
+
+    @property
+    def valid(self):
+        return all(self.verified.values()) and not self.violations
+
+    def fail(self, claim, message):
+        self.violations.append("%s: %s" % (claim, message))
+
+    def __repr__(self):
+        state = "valid" if self.valid else "INVALID"
+        return "Certificate(%s, %d violations)" % (state,
+                                                   len(self.violations))
+
+
+def certify(result):
+    """Check claims C1-C5 for ``result``; returns a :class:`Certificate`.
+
+    Raises :class:`ExplorationError` only on malformed input (not on a
+    failed claim — failures are recorded in the certificate).
+    """
+    poset = result.poset
+    certificate = Certificate()
+    all_names = set(poset.layouts)
+    measured = set(result.measurements)
+    recommended = set(result.recommended)
+
+    if not recommended <= all_names:
+        raise ExplorationError("recommendation outside the space")
+
+    # C1: soundness.
+    ok = True
+    for name in recommended:
+        if name not in measured:
+            certificate.fail("soundness", "%s recommended unmeasured" % name)
+            ok = False
+        elif result.measurements[name] < result.budget:
+            certificate.fail("soundness", "%s misses the budget" % name)
+            ok = False
+    certificate.verified["soundness"] = ok
+
+    # C2: maximality — nothing safer passes.
+    ok = True
+    for name in recommended:
+        for safer in poset.safer_than(name):
+            if safer in result.passing:
+                certificate.fail(
+                    "maximality",
+                    "%s is dominated by passing %s" % (name, safer),
+                )
+                ok = False
+    certificate.verified["maximality"] = ok
+
+    # C3: completeness — all maximal passing configs are recommended.
+    ok = True
+    for name in result.passing:
+        if poset.safer_than(name) & result.passing:
+            continue  # dominated, correctly not recommended
+        if name not in recommended:
+            certificate.fail(
+                "completeness",
+                "maximal passing %s not recommended" % name,
+            )
+            ok = False
+    certificate.verified["completeness"] = ok
+
+    # C4: prune safety — every pruned node has a failing ancestor.
+    ok = True
+    failed = {
+        name for name in measured
+        if result.measurements[name] < result.budget
+    }
+    for name in result.pruned:
+        below = poset.less_safe_than(name)
+        if not (below & (failed | result.pruned)):
+            certificate.fail(
+                "prune-safety",
+                "%s pruned without a failing ancestor" % name,
+            )
+            ok = False
+    certificate.verified["prune-safety"] = ok
+
+    # C5: coverage.
+    covered = measured | result.pruned
+    if covered == all_names:
+        certificate.verified["coverage"] = True
+    else:
+        certificate.fail(
+            "coverage",
+            "unaccounted configurations: %s" % sorted(all_names - covered),
+        )
+
+    return certificate

@@ -1,0 +1,79 @@
+"""The configuration poset as a DAG (Fig. 5, Fig. 8).
+
+Nodes are configurations; a directed edge a -> b means "b is
+probabilistically safer than a".  The stored graph is the transitive
+reduction (the Hasse diagram), which is what Fig. 8 draws.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ExplorationError
+from repro.explore.safety import safety_leq
+
+
+class ConfigPoset:
+    """A poset over :class:`~repro.apps.base.ComponentLayout` objects."""
+
+    def __init__(self, layouts):
+        names = [layout.name for layout in layouts]
+        if len(set(names)) != len(names):
+            raise ExplorationError("duplicate configuration names")
+        self.layouts = {layout.name: layout for layout in layouts}
+        full = nx.DiGraph()
+        full.add_nodes_from(names)
+        for a in layouts:
+            for b in layouts:
+                if a.name != b.name and safety_leq(a, b):
+                    full.add_edge(a.name, b.name)
+        if not nx.is_directed_acyclic_graph(full):
+            # Distinct configurations that tie on every safety axis would
+            # create 2-cycles; collapse is the caller's job.
+            raise ExplorationError(
+                "safety order is not antisymmetric over these layouts"
+            )
+        #: The Hasse diagram (transitive reduction).
+        self.graph = nx.transitive_reduction(full)
+        self._full = full
+
+    # -- structure ----------------------------------------------------------
+    def __len__(self):
+        return len(self.graph)
+
+    def edges(self):
+        return list(self.graph.edges)
+
+    def safer_than(self, name):
+        """All configurations strictly safer than ``name``."""
+        return set(nx.descendants(self._full, name))
+
+    def less_safe_than(self, name):
+        return set(nx.ancestors(self._full, name))
+
+    def minimal_elements(self):
+        """Least-safe configurations (sources of the DAG)."""
+        return [n for n in self.graph if self.graph.in_degree(n) == 0]
+
+    def maximal_elements(self, subset=None):
+        """Safest configurations (sinks), optionally within ``subset``."""
+        nodes = set(self.graph) if subset is None else set(subset)
+        return [
+            n for n in nodes
+            if not (self.safer_than(n) & nodes)
+        ]
+
+    def topological_order(self):
+        """Least-safe first (the labelling order the explorer uses)."""
+        return list(nx.topological_sort(self.graph))
+
+    def check_invariants(self):
+        """Poset sanity: acyclic, reduction-consistent."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ExplorationError("Hasse diagram has a cycle")
+        for a, b in self.graph.edges:
+            if not safety_leq(self.layouts[a], self.layouts[b]):
+                raise ExplorationError(
+                    "edge %s -> %s contradicts the safety order" % (a, b)
+                )
+        return True

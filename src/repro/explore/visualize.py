@@ -1,0 +1,67 @@
+"""Graphviz (DOT) rendering of configuration posets — the Fig. 8 plot.
+
+Nodes are configurations; shading encodes performance (darkest =
+fastest, as in the paper), stars mark the explorer's recommendations.
+The output is plain DOT text renderable with ``dot -Tpdf``.
+"""
+
+from __future__ import annotations
+
+
+def _shade(value, lo, hi):
+    """Map a performance value onto a 0..9 gray level (9 = darkest)."""
+    if hi <= lo:
+        return 5
+    fraction = (value - lo) / (hi - lo)
+    return int(round(fraction * 9))
+
+
+def poset_to_dot(poset, measurements=None, starred=(), title="FlexOS poset"):
+    """Render ``poset`` as DOT.
+
+    Args:
+        poset: a :class:`~repro.explore.poset.ConfigPoset`.
+        measurements: optional {name: performance} for node shading.
+        starred: names to mark as recommended (peripheries + star label).
+        title: graph label.
+    """
+    starred = set(starred)
+    lines = [
+        "digraph flexos_poset {",
+        '  label="%s";' % title,
+        "  rankdir=BT;",
+        '  node [shape=circle, style=filled, fontsize=8];',
+    ]
+    values = list(measurements.values()) if measurements else []
+    lo, hi = (min(values), max(values)) if values else (0, 0)
+    for name in sorted(poset.layouts):
+        attributes = []
+        label = name
+        if measurements and name in measurements:
+            level = _shade(measurements[name], lo, hi)
+            attributes.append('fillcolor="gray%d"' % (90 - level * 9))
+            if level >= 6:
+                attributes.append('fontcolor="white"')
+            label += "\\n%.0fk" % (measurements[name] / 1e3)
+        else:
+            attributes.append('fillcolor="white"')
+        if name in starred:
+            attributes.append("peripheries=3")
+            label = "* " + label
+        attributes.append('label="%s"' % label)
+        lines.append('  "%s" [%s];' % (name, ", ".join(attributes)))
+    for src, dst in sorted(poset.edges()):
+        lines.append('  "%s" -> "%s";' % (src, dst))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def exploration_to_dot(result, title=None):
+    """DOT for an :class:`~repro.explore.explorer.ExplorationResult`."""
+    return poset_to_dot(
+        result.poset,
+        measurements=result.measurements,
+        starred=result.recommended,
+        title=title or ("FlexOS configurations (budget %.0f)"
+                        % result.budget),
+    )

@@ -1,0 +1,92 @@
+"""Virtual cycle clock.
+
+All performance numbers in this reproduction are derived from a single
+monotonic cycle counter.  Code that models work calls :meth:`Clock.charge`;
+benchmarks read :attr:`Clock.cycles` (or the derived nanosecond / second
+views) before and after the measured section.
+
+The default frequency matches the paper's testbed, an Intel Xeon Silver
+4114 running at 2.2 GHz.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: Frequency of the paper's Xeon Silver 4114 testbed, in Hz.
+XEON_4114_HZ = 2_200_000_000
+
+
+class Clock:
+    """A monotonic virtual cycle counter with time conversions."""
+
+    def __init__(self, freq_hz=XEON_4114_HZ):
+        if freq_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.freq_hz = freq_hz
+        self._cycles = 0.0
+
+    @property
+    def cycles(self):
+        """Total cycles elapsed since the clock was created."""
+        return self._cycles
+
+    @property
+    def ns(self):
+        """Elapsed time in nanoseconds."""
+        return self._cycles * 1e9 / self.freq_hz
+
+    @property
+    def seconds(self):
+        """Elapsed time in seconds."""
+        return self._cycles / self.freq_hz
+
+    def charge(self, cycles):
+        """Advance the clock by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles: %r" % cycles)
+        self._cycles += cycles
+
+    def cycles_to_ns(self, cycles):
+        """Convert a cycle count to nanoseconds at this clock's frequency."""
+        return cycles * 1e9 / self.freq_hz
+
+    def ns_to_cycles(self, ns):
+        """Convert nanoseconds to cycles at this clock's frequency."""
+        return ns * self.freq_hz / 1e9
+
+    @contextmanager
+    def measure(self):
+        """Measure the cycles charged inside a ``with`` block.
+
+        Yields a :class:`Measurement` whose ``cycles`` attribute is valid
+        once the block exits.
+        """
+        result = Measurement(self)
+        start = self._cycles
+        try:
+            yield result
+        finally:
+            result.cycles = self._cycles - start
+
+    def __repr__(self):
+        return "Clock(cycles=%.0f, freq=%.2fGHz)" % (
+            self._cycles,
+            self.freq_hz / 1e9,
+        )
+
+
+class Measurement:
+    """Result of a :meth:`Clock.measure` block."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.cycles = 0.0
+
+    @property
+    def ns(self):
+        return self._clock.cycles_to_ns(self.cycles)
+
+    @property
+    def seconds(self):
+        return self.cycles / self._clock.freq_hz

@@ -1,0 +1,36 @@
+"""Unikraft-like kernel substrate.
+
+The paper builds FlexOS on Unikraft v0.5 because its micro-library
+granularity provides natural compartment boundaries.  This package is our
+functional equivalent: each subsystem is a genuine implementation (the
+scheduler schedules, the TCP stack moves bytes, ramfs stores files) whose
+modelled work is charged to the virtual clock, and whose cross-library
+calls are routed through whatever gates the built image installed.
+
+Micro-libraries (mirroring the paper's component names):
+
+* ``ukboot``   -- early boot code (TCB)
+* ``ukalloc``  -- memory manager / allocators (TCB)
+* ``uksched``  -- cooperative scheduler (TCB boundary: core primitives)
+* ``ukintr``   -- first-level interrupt handling (TCB)
+* ``uktime``   -- time subsystem
+* ``lwip``     -- TCP/IP stack
+* ``vfscore`` / ``ramfs`` -- filesystem layers
+* ``newlib``   -- libc layer
+"""
+
+from repro.kernel.lib import (
+    LIBRARY_REGISTRY,
+    MicroLibrary,
+    entrypoint,
+    get_library,
+    register_library,
+)
+
+__all__ = [
+    "LIBRARY_REGISTRY",
+    "MicroLibrary",
+    "entrypoint",
+    "get_library",
+    "register_library",
+]

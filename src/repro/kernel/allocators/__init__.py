@@ -1,0 +1,33 @@
+"""Memory allocators over simulated heap regions.
+
+Unikraft's default allocator is TLSF; CubicleOS ships Doug Lea's dlmalloc,
+which the paper notes "behaves better than Unikraft's TLSF allocator" in
+the SQLite benchmark (Fig. 10).  Both are implemented here for real — free
+lists, splitting, coalescing — over the byte ranges of a heap
+:class:`~repro.hw.memory.Region`, so allocator behaviour (fragmentation,
+fast/slow paths) is emergent rather than scripted.
+"""
+
+from repro.kernel.allocators.base import Allocation, Allocator
+from repro.kernel.allocators.bump import BumpAllocator
+from repro.kernel.allocators.dlmalloc import LeaAllocator
+from repro.kernel.allocators.tlsf import TlsfAllocator
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "BumpAllocator",
+    "LeaAllocator",
+    "TlsfAllocator",
+]
+
+
+def make_allocator(kind, region):
+    """Factory used by the memory manager (``tlsf``, ``lea`` or ``bump``)."""
+    if kind == "tlsf":
+        return TlsfAllocator(region)
+    if kind == "lea":
+        return LeaAllocator(region)
+    if kind == "bump":
+        return BumpAllocator(region)
+    raise ValueError("unknown allocator kind %r" % kind)

@@ -1,0 +1,44 @@
+"""Bump allocator.
+
+Used for boot-time carving and for the per-VM slices of EPT shared-memory
+windows, where each VM "manages its own portion of the shared memory area
+to avoid the need for complex multithreaded bookkeeping" (Section 4.2).
+Frees are accepted but only the most recent allocation is actually
+reclaimed (stack discipline); anything else is leaked until reset.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.allocators.base import Allocator
+
+
+class BumpAllocator(Allocator):
+    """Pointer-bump allocation with stack-discipline reclamation."""
+
+    FAST_COST_FIELD = "stack_alloc"
+    SLOW_COST_FIELD = "stack_alloc"
+    FREE_COST_FIELD = "stack_alloc"
+
+    def __init__(self, region):
+        super().__init__(region)
+        self._cursor = 0
+
+    def _alloc_block(self, size):
+        if self._cursor + size > self.region.size:
+            self._out_of_memory(size)
+        offset = self._cursor
+        self._cursor += size
+        return offset, True
+
+    def _free_block(self, offset, size):
+        if offset + size == self._cursor:
+            self._cursor = offset
+
+    def reset(self):
+        """Forget every allocation (cheap arena reuse)."""
+        self._cursor = 0
+        self._live.clear()
+
+    @property
+    def used(self):
+        return self._cursor

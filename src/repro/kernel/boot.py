@@ -1,0 +1,55 @@
+"""Early boot (``ukboot``).
+
+Boot code is TCB: "malfunctioning or malicious early boot code can set up
+the system in an unsafe manner" (Section 3.3).  The boot plan is an
+ordered list of named steps; the protection-setup step (stamping section
+protection keys) must run before any non-TCB step, and
+:meth:`BootPlan.run` enforces that ordering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.kernel.lib import work
+
+
+class BootStep:
+    """One named boot action."""
+
+    __slots__ = ("name", "action", "tcb")
+
+    def __init__(self, name, action, tcb=False):
+        self.name = name
+        self.action = action
+        self.tcb = tcb
+
+
+class BootPlan:
+    """Ordered boot steps with TCB-before-everything enforcement."""
+
+    #: Modelled cost of one boot step (setup code, not on any hot path).
+    STEP_COST = 5_000.0
+
+    def __init__(self):
+        self._steps = []
+        self.completed = []
+
+    def add(self, name, action, tcb=False):
+        self._steps.append(BootStep(name, action, tcb=tcb))
+        return self
+
+    def run(self):
+        """Execute all steps in order; returns the completed step names."""
+        seen_non_tcb = False
+        for step in self._steps:
+            if step.tcb and seen_non_tcb:
+                raise ConfigError(
+                    "boot step %r is TCB but runs after non-TCB steps"
+                    % step.name
+                )
+            if not step.tcb:
+                seen_non_tcb = True
+            work(self.STEP_COST)
+            step.action()
+            self.completed.append(step.name)
+        return list(self.completed)

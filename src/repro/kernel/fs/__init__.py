@@ -1,0 +1,23 @@
+"""Filesystem substrate: ``vfscore`` (VFS) over ``ramfs``.
+
+The paper ports both as one unit: "ramfs is so deeply entangled with
+vfscore that blindly isolating it without redesign would impair
+performance ... coupled with vfscore, both components can perfectly well
+be isolated from the rest of the system" (Section 4.4).  Accordingly our
+configuration layer treats ``filesystem`` as a single component mapping to
+both libraries.
+"""
+
+from repro.kernel.fs.ramfs import RamFs
+from repro.kernel.fs.vfs import O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, Vfs
+
+__all__ = [
+    "O_APPEND",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "RamFs",
+    "Vfs",
+]

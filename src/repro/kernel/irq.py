@@ -1,0 +1,42 @@
+"""First-level interrupt handling (``ukintr``).
+
+Part of the TCB: the first-level handler's context-switch primitives can
+read and write any thread's saved register state, so no isolation
+mechanism can exclude it.  In the cooperative simulation, interrupts are
+modelled as callbacks fired between thread time slices (timer ticks and
+network-device notifications), each charged the hardware IRQ entry cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+from repro.kernel.lib import entrypoint, work
+
+
+class InterruptController:
+    """Registers and fires interrupt lines."""
+
+    #: Conventional line numbers.
+    IRQ_TIMER = 0
+    IRQ_NET = 1
+
+    def __init__(self, clock, costs):
+        self.clock = clock
+        self.costs = costs
+        self._handlers = {}
+        self.delivered = 0
+
+    def register(self, line, handler):
+        """Attach ``handler`` to an interrupt line."""
+        self._handlers.setdefault(line, []).append(handler)
+
+    @entrypoint("ukintr")
+    def raise_irq(self, line, payload=None):
+        """Deliver one interrupt: first-level entry cost + all handlers."""
+        handlers = self._handlers.get(line)
+        if not handlers:
+            raise SchedulerError("unhandled interrupt line %d" % line)
+        work(self.costs.irq_entry)
+        self.delivered += 1
+        for handler in handlers:
+            handler(payload)

@@ -1,0 +1,19 @@
+"""TCP/IP stack (``lwip``).
+
+A functional, byte-level network stack standing in for lwIP: Ethernet and
+IPv4 headers are really packed and parsed, TCP runs a real state machine
+(handshake, cumulative ACKs, segmentation at the MSS, FIN teardown), and
+sockets expose the BSD API the applications use.
+
+Communication-pattern fidelity matters for the paper's results: the stack
+never calls the scheduler (the paper notes "LwIP does not directly
+communicate with the scheduler, hence the cut is not on a hot path" — the
+source of the 'isolation for free' effect).  Blocking socket calls are
+implemented in the libc layer as poll-and-yield loops instead.
+"""
+
+from repro.kernel.net.device import LinkedDevices, NetDevice
+from repro.kernel.net.socket import Socket
+from repro.kernel.net.stack import NetworkStack
+
+__all__ = ["LinkedDevices", "NetDevice", "NetworkStack", "Socket"]

@@ -1,0 +1,280 @@
+"""Cooperative scheduler (``uksched``) with the backend hook API.
+
+A round-robin cooperative scheduler over generator-based threads.  Threads
+yield scheduler operations:
+
+* ``yield_()``      — give up the CPU, stay runnable.
+* ``sleep(ns)``     — sleep for virtual nanoseconds.
+* ``block(queue)``  — wait until the queue wakes the thread.
+* ``exit_()``       — terminate (also implied by returning).
+
+Backends extend core libraries through *hooks* rather than rewrites
+(Section 3.2): the MPK backend, for example, registers a ``thread_create``
+hook that switches a newly created thread to the right protection domain
+and populates its per-compartment stack registry.  Hook calls are free at
+runtime (the paper inlines them); here we simply do not charge for the
+dispatch itself, only for what hooks do.
+
+This is also the component the authors formally verified with Dafny; the
+invariants checked by :meth:`Scheduler.check_invariants` are the ones that
+proof is about (no thread both runnable and sleeping, a single RUNNING
+thread, wake-ups never lost).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+from repro.hw.cpu import maybe_current_context
+from repro.kernel.lib import entrypoint, work
+from repro.kernel.thread import Thread, ThreadState
+
+HOOK_EVENTS = ("thread_create", "thread_switch", "thread_exit", "boot")
+
+
+class SchedOp:
+    """Base class for operations a thread generator may yield."""
+
+
+class Yield(SchedOp):
+    """Cooperatively give up the CPU."""
+
+
+class Sleep(SchedOp):
+    def __init__(self, ns):
+        if ns < 0:
+            raise SchedulerError("cannot sleep negative time")
+        self.ns = ns
+
+
+class Block(SchedOp):
+    def __init__(self, queue):
+        self.queue = queue
+
+
+class Exit(SchedOp):
+    """Terminate the current thread."""
+
+
+def yield_():
+    return Yield()
+
+
+def sleep(ns):
+    return Sleep(ns)
+
+
+def block(queue):
+    return Block(queue)
+
+
+def exit_():
+    return Exit()
+
+
+class WaitQueue:
+    """A queue of blocked threads, woken explicitly."""
+
+    def __init__(self, name="waitq"):
+        self.name = name
+        self._waiters = []
+
+    def add(self, thread):
+        self._waiters.append(thread)
+
+    def wake_one(self):
+        """Make the oldest waiter runnable; returns it or None."""
+        if not self._waiters:
+            return None
+        thread = self._waiters.pop(0)
+        thread.state = ThreadState.READY
+        return thread
+
+    def wake_all(self):
+        woken = []
+        while self._waiters:
+            woken.append(self.wake_one())
+        return woken
+
+    def __len__(self):
+        return len(self._waiters)
+
+
+class Scheduler:
+    """Cooperative round-robin scheduler with a hook API for backends."""
+
+    def __init__(self, clock, costs):
+        self.clock = clock
+        self.costs = costs
+        self.threads = []
+        self._run_queue = []
+        self._sleepers = []
+        self.current = None
+        self.switches = 0
+        self._hooks = {event: [] for event in HOOK_EVENTS}
+
+    # -- hook API (Section 3.2) ---------------------------------------------
+    def register_hook(self, event, callback):
+        """Attach a backend callback to a scheduler event."""
+        if event not in self._hooks:
+            raise SchedulerError("unknown scheduler hook %r" % event)
+        self._hooks[event].append(callback)
+
+    def _fire(self, event, *args):
+        for callback in self._hooks[event]:
+            callback(*args)
+
+    # -- thread lifecycle ------------------------------------------------------
+    @entrypoint("uksched")
+    def create_thread(self, name, body, compartment=0):
+        """Create and start a thread; returns the :class:`Thread`."""
+        work(self.costs.context_switch / 2.0)
+        thread = Thread(name, body, compartment=compartment)
+        thread.start()
+        self.threads.append(thread)
+        self._run_queue.append(thread)
+        self._fire("thread_create", thread)
+        return thread
+
+    @entrypoint("uksched")
+    def wake(self, queue):
+        """Wake one waiter on ``queue`` (e.g. data arrived on a socket)."""
+        work(self.costs.sched_yield)
+        thread = queue.wake_one()
+        if thread is not None:
+            self._run_queue.append(thread)
+        return thread
+
+    @entrypoint("uksched")
+    def wake_all(self, queue):
+        work(self.costs.sched_yield)
+        woken = queue.wake_all()
+        self._run_queue.extend(woken)
+        return woken
+
+    # -- the dispatch loop -------------------------------------------------------
+    def _advance_to_wakeups(self):
+        """If nothing is runnable, jump the clock to the next wake-up."""
+        if self._run_queue or not self._sleepers:
+            return
+        next_wake = min(t.wake_at_cycles for t in self._sleepers)
+        if next_wake > self.clock.cycles:
+            self.clock.charge(next_wake - self.clock.cycles)
+
+    def _collect_wakeups(self):
+        still_sleeping = []
+        for thread in self._sleepers:
+            if thread.wake_at_cycles <= self.clock.cycles:
+                thread.state = ThreadState.READY
+                self._run_queue.append(thread)
+            else:
+                still_sleeping.append(thread)
+        self._sleepers = still_sleeping
+
+    @entrypoint("uksched")
+    def _prepare_dispatch(self, thread):
+        """The scheduler-side half of a dispatch: bookkeeping + hooks.
+
+        This is the part that lives in the uksched compartment (and thus
+        crosses a gate when the scheduler is isolated); the thread body
+        itself then resumes in its own protection domain, not the
+        scheduler's.
+        """
+        work(self.costs.context_switch)
+        self.switches += 1
+        previous = self.current
+        self.current = thread
+        thread.state = ThreadState.RUNNING
+        self._fire("thread_switch", previous, thread)
+
+    def _dispatch(self, thread, value):
+        """Resume ``thread``; returns the operation it yielded (or Exit)."""
+        self._prepare_dispatch(thread)
+        ctx = maybe_current_context()
+        if ctx is not None:
+            ctx.current_thread = thread
+        try:
+            return thread.generator.send(value)
+        except StopIteration as stop:
+            thread.result = stop.value
+            return Exit()
+
+    def run(self, max_switches=1_000_000):
+        """Run until every thread exited (or the switch budget is hit)."""
+        budget = max_switches
+        while True:
+            self._collect_wakeups()
+            self._advance_to_wakeups()
+            self._collect_wakeups()
+            if not self._run_queue:
+                blocked = [
+                    t for t in self.threads
+                    if t.state is ThreadState.BLOCKED
+                ]
+                if blocked:
+                    raise SchedulerError(
+                        "deadlock: %s blocked forever"
+                        % ", ".join(t.name for t in blocked)
+                    )
+                return
+            thread = self._run_queue.pop(0)
+            if not thread.alive:
+                continue
+            op = self._dispatch(thread, None)
+            budget -= 1
+            if budget <= 0:
+                raise SchedulerError("scheduler switch budget exhausted")
+            self._apply(thread, op)
+
+    @entrypoint("uksched")
+    def _account_yield(self):
+        """Scheduler-side cost of handling one yielded operation."""
+        work(self.costs.sched_yield)
+
+    def _apply(self, thread, op):
+        if isinstance(op, Exit):
+            thread.state = ThreadState.EXITED
+            self.current = None
+            self._fire("thread_exit", thread)
+        elif isinstance(op, Yield):
+            self._account_yield()
+            thread.state = ThreadState.READY
+            self._run_queue.append(thread)
+        elif isinstance(op, Sleep):
+            self._account_yield()
+            thread.state = ThreadState.SLEEPING
+            thread.wake_at_cycles = (
+                self.clock.cycles + self.clock.ns_to_cycles(op.ns)
+            )
+            self._sleepers.append(thread)
+        elif isinstance(op, Block):
+            self._account_yield()
+            thread.state = ThreadState.BLOCKED
+            op.queue.add(thread)
+        else:
+            raise SchedulerError(
+                "thread %s yielded a non-operation: %r" % (thread.name, op)
+            )
+
+    # -- verified invariants (Dafny model, Section 3.3) --------------------------
+    def check_invariants(self):
+        """Assert the scheduler state invariants; raises on violation."""
+        running = [t for t in self.threads if t.state is ThreadState.RUNNING]
+        if len(running) > 1:
+            raise SchedulerError("more than one RUNNING thread")
+        queued = set(id(t) for t in self._run_queue)
+        for thread in self._sleepers:
+            if id(thread) in queued:
+                raise SchedulerError(
+                    "thread %s both sleeping and runnable" % thread.name
+                )
+            if thread.state is not ThreadState.SLEEPING:
+                raise SchedulerError(
+                    "sleeper %s not in SLEEPING state" % thread.name
+                )
+        for thread in self._run_queue:
+            if thread.state not in (ThreadState.READY, ThreadState.EXITED):
+                raise SchedulerError(
+                    "queued thread %s in state %s"
+                    % (thread.name, thread.state.value)
+                )
+        return True

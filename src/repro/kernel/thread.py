@@ -1,0 +1,70 @@
+"""Threads and their per-compartment stacks.
+
+FlexOS' full MPK gate uses "one call stack per thread per compartment",
+with a per-compartment stack registry mapping threads to their local
+stack.  A :class:`Thread` therefore owns a *dictionary* of stacks (filled
+lazily as the thread first enters each compartment) plus, when the image
+uses Data Shadow Stacks, a DSS region per stack.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.errors import SchedulerError
+
+_TID = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+class Thread:
+    """A cooperative thread driven by a Python generator.
+
+    The generator yields :mod:`repro.kernel.sched` operations (yield_,
+    sleep, block) and returns when the thread's work is done.
+    """
+
+    def __init__(self, name, body, compartment=0):
+        self.tid = next(_TID)
+        self.name = name
+        self.body = body            # generator factory or generator
+        self.home_compartment = compartment
+        self.state = ThreadState.READY
+        self.wake_at_cycles = 0.0
+        self.result = None
+        #: compartment id -> stack Region (the stack registry entry).
+        self.stacks = {}
+        #: compartment id -> DSS Region.
+        self.dss = {}
+        self._gen = None
+
+    def start(self):
+        if self._gen is not None:
+            raise SchedulerError("thread %s already started" % self.name)
+        self._gen = self.body() if callable(self.body) else self.body
+        return self._gen
+
+    @property
+    def generator(self):
+        if self._gen is None:
+            raise SchedulerError("thread %s not started" % self.name)
+        return self._gen
+
+    @property
+    def alive(self):
+        return self.state is not ThreadState.EXITED
+
+    def stack_for(self, compartment):
+        """Registry lookup used by the full MPK gate when switching stacks."""
+        return self.stacks.get(compartment)
+
+    def __repr__(self):
+        return "Thread(%d %s %s)" % (self.tid, self.name, self.state.value)

@@ -1,0 +1,44 @@
+"""Time subsystem (``uktime``).
+
+The smallest component the paper ports (10 minutes, zero shared
+variables — Table 1): it exposes monotonic and wall-clock reads derived
+from the virtual cycle counter.  SQLite's journal timestamps go through
+here, which is why Fig. 10's MPK3 scenario isolates uktime in its own
+compartment.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.lib import entrypoint, work
+
+#: Arbitrary boot epoch (2022-02-28, the first day of ASPLOS'22).
+BOOT_EPOCH_NS = 1_645_999_200 * 1_000_000_000
+
+
+class TimeSubsystem:
+    """Monotonic + wall clock reads, charged like rdtsc-based gettime."""
+
+    def __init__(self, clock, costs):
+        self.clock = clock
+        self.costs = costs
+        self.reads = 0
+
+    @entrypoint("uktime")
+    def monotonic_ns(self):
+        """Nanoseconds since boot."""
+        work(self.costs.timer_read)
+        self.reads += 1
+        return int(self.clock.ns)
+
+    @entrypoint("uktime")
+    def wall_clock_ns(self):
+        """Nanoseconds since the Unix epoch."""
+        work(self.costs.timer_read)
+        self.reads += 1
+        return BOOT_EPOCH_NS + int(self.clock.ns)
+
+    @entrypoint("uktime")
+    def uptime_seconds(self):
+        work(self.costs.timer_read)
+        self.reads += 1
+        return self.clock.seconds

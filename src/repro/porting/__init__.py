@@ -1,0 +1,15 @@
+"""Porting support: crash-driven annotation workflow and Table 1 data.
+
+"The typical workflow, once gates have been inserted, is to run the
+program with a representative test case until it crashes due to memory
+access violations.  Crash reports point to the symbol that triggered the
+crash, at which point the developer can annotate it for sharing"
+(Section 4.4).  :mod:`repro.porting.workflow` automates exactly that loop
+over the simulation's real :class:`~repro.errors.ProtectionFault` crash
+reports; :mod:`repro.porting.effort` reproduces Table 1.
+"""
+
+from repro.porting.effort import porting_effort_table
+from repro.porting.workflow import PortingWorkflow
+
+__all__ = ["PortingWorkflow", "porting_effort_table"]

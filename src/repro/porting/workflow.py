@@ -1,0 +1,93 @@
+"""The crash-driven porting loop.
+
+Given a workload and a way to share a named symbol, the workflow runs the
+workload, catches each :class:`~repro.errors.ProtectionFault`, annotates
+the faulting symbol into the build's whitelists, relocates the data into
+the shared domain, and retries — until the workload runs clean or the
+iteration budget is exhausted.  The resulting annotation count is the
+"shared vars" column of Table 1.
+
+A fault can also be a *genuine violation* — a library exposing internal
+state it should not (the paper's ramfs/vfscore example).  Callers can
+pass a ``deny`` predicate naming symbols that must never be shared; the
+workflow then reports them instead of annotating.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtectionFault, ReproError
+
+
+class PortingReport:
+    """Outcome of one porting session."""
+
+    def __init__(self):
+        self.annotated = []     # symbols shared, in discovery order
+        self.violations = []    # symbols refused by the deny predicate
+        self.iterations = 0
+        self.clean = False
+
+    @property
+    def shared_vars(self):
+        return len(self.annotated)
+
+    def __repr__(self):
+        return "PortingReport(%d shared vars, %d iterations, clean=%s)" % (
+            self.shared_vars, self.iterations, self.clean,
+        )
+
+
+class PortingWorkflow:
+    """Runs the run-crash-annotate loop for one instance."""
+
+    def __init__(self, instance, max_iterations=200):
+        self.instance = instance
+        self.max_iterations = max_iterations
+
+    def run(self, workload, share, deny=None):
+        """Port until ``workload`` runs clean.
+
+        Args:
+            workload: callable() -> None; raises ProtectionFault while the
+                port is incomplete.  Must be re-runnable.
+            share: callable(fault) -> None; annotates + relocates the
+                faulting symbol into the shared domain.
+            deny: optional callable(fault) -> bool; True marks the fault a
+                genuine violation that must not be fixed by sharing.
+
+        Returns a :class:`PortingReport`.
+        """
+        report = PortingReport()
+        annotations = self.instance.image.annotations
+        for _ in range(self.max_iterations):
+            report.iterations += 1
+            try:
+                workload()
+            except ProtectionFault as fault:
+                if deny is not None and deny(fault):
+                    report.violations.append(fault.symbol)
+                    raise ReproError(
+                        "genuine violation: %r leaks internal state of "
+                        "compartment %s; rework the library's API instead "
+                        "of sharing" % (fault.symbol, fault.owner)
+                    )
+                if fault.symbol in report.annotated:
+                    raise ReproError(
+                        "symbol %r faulted again after sharing — the "
+                        "share() callback did not relocate it"
+                        % fault.symbol
+                    )
+                annotations.annotate(
+                    fault.symbol,
+                    fault.owner_library or fault.library or "app",
+                    whitelist=("*",),
+                )
+                share(fault)
+                report.annotated.append(fault.symbol)
+            else:
+                report.clean = True
+                return report
+        raise ReproError(
+            "porting did not converge after %d iterations"
+            % self.max_iterations
+        )

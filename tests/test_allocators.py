@@ -1,0 +1,226 @@
+"""Allocator tests: TLSF, Lea, bump — including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InvalidFree
+from repro.hw.memory import PhysicalMemory
+from repro.kernel.allocators import (
+    BumpAllocator,
+    LeaAllocator,
+    TlsfAllocator,
+    make_allocator,
+)
+from repro.kernel.allocators.base import MIN_BLOCK, round_up
+
+
+def fresh(kind, size=1 << 20):
+    memory = PhysicalMemory()
+    region = memory.add_region("heap", size, kind="heap")
+    return make_allocator(kind, region)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("tlsf", TlsfAllocator), ("lea", LeaAllocator),
+        ("bump", BumpAllocator),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(fresh(kind), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            fresh("jemalloc")
+
+
+class TestRounding:
+    def test_round_up_granule(self):
+        assert round_up(1) == MIN_BLOCK
+        assert round_up(MIN_BLOCK) == MIN_BLOCK
+        assert round_up(MIN_BLOCK + 1) == 2 * MIN_BLOCK
+
+    def test_zero_size_becomes_min_block(self):
+        assert round_up(0) == MIN_BLOCK
+
+
+@pytest.mark.parametrize("kind", ["tlsf", "lea", "bump"])
+class TestCommonBehaviour:
+    def test_allocations_do_not_overlap(self, kind):
+        allocator = fresh(kind)
+        live = [allocator.malloc(100) for _ in range(50)]
+        spans = sorted((a.offset, a.offset + a.size) for a in live)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_free_and_reuse(self, kind):
+        allocator = fresh(kind)
+        a = allocator.malloc(256)
+        allocator.free(a)
+        b = allocator.malloc(256)
+        assert b.offset == a.offset  # freed space is reusable
+
+    def test_double_free_rejected(self, kind):
+        allocator = fresh(kind)
+        a = allocator.malloc(64)
+        allocator.free(a)
+        with pytest.raises(InvalidFree):
+            allocator.free(a)
+
+    def test_stats_track_live_bytes(self, kind):
+        allocator = fresh(kind)
+        a = allocator.malloc(100)
+        b = allocator.malloc(200)
+        assert allocator.stats.bytes_live == a.size + b.size
+        allocator.free(a)
+        assert allocator.stats.bytes_live == b.size
+        assert allocator.stats.bytes_peak == a.size + b.size
+
+    def test_out_of_memory(self, kind):
+        allocator = fresh(kind, size=4096)
+        with pytest.raises(AllocationError):
+            allocator.malloc(1 << 20)
+
+    def test_allocation_free_helper(self, kind):
+        allocator = fresh(kind)
+        a = allocator.malloc(32)
+        a.free()
+        assert allocator.live_allocations == 0
+
+    def test_address_is_region_relative(self, kind):
+        allocator = fresh(kind)
+        a = allocator.malloc(32)
+        assert a.address == allocator.region.base + a.offset
+
+
+class TestTlsf:
+    def test_coalescing_restores_full_block(self):
+        allocator = fresh("tlsf", size=1 << 16)
+        allocations = [allocator.malloc(1024) for _ in range(8)]
+        for a in allocations:
+            allocator.free(a)
+        # After freeing everything, a maximal allocation must succeed.
+        big = allocator.malloc((1 << 16) - MIN_BLOCK)
+        assert big.size >= (1 << 16) - MIN_BLOCK
+
+    def test_free_bytes_conserved(self):
+        allocator = fresh("tlsf", size=1 << 16)
+        total = allocator.free_bytes()
+        a = allocator.malloc(512)
+        assert allocator.free_bytes() == total - a.size
+        allocator.free(a)
+        assert allocator.free_bytes() == total
+
+    def test_split_produces_usable_remainder(self):
+        allocator = fresh("tlsf", size=1 << 16)
+        a = allocator.malloc(100)
+        b = allocator.malloc(100)
+        assert b.offset >= a.offset + a.size
+
+    def test_fast_and_slow_paths_both_exercised(self):
+        allocator = fresh("tlsf")
+        sizes = [64, 64, 4096, 64, 100_000, 64]
+        live = [allocator.malloc(s) for s in sizes]
+        for a in live[::2]:
+            allocator.free(a)
+        for s in sizes:
+            allocator.malloc(s)
+        stats = allocator.stats
+        assert stats.fast_allocs + stats.slow_allocs == stats.allocs
+
+
+class TestLea:
+    def test_small_bin_reuse_is_fast_path(self):
+        allocator = fresh("lea")
+        a = allocator.malloc(48)
+        allocator.free(a)
+        before = allocator.stats.fast_allocs
+        b = allocator.malloc(48)
+        assert allocator.stats.fast_allocs == before + 1
+        assert b.offset == a.offset
+
+    def test_best_fit_for_large(self):
+        allocator = fresh("lea")
+        a = allocator.malloc(4096)
+        allocator.malloc(64)             # plug the wilderness boundary
+        allocator.free(a)
+        b = allocator.malloc(2048)
+        assert b.offset == a.offset      # best fit reuses the hole
+
+    def test_consolidation_recovers_fragmented_memory(self):
+        allocator = fresh("lea", size=64 * 1024)
+        live = [allocator.malloc(512) for _ in range(120)]
+        for a in live:
+            allocator.free(a)
+        # The wilderness is exhausted; only consolidation can serve this.
+        big = allocator.malloc(32 * 1024)
+        assert big.size >= 32 * 1024
+
+    def test_same_size_churn_faster_than_tlsf(self):
+        """The Fig. 10 allocator effect: Lea's exact bins beat TLSF's
+        class search under same-size churn (SQLite's pattern)."""
+        lea, tlsf = fresh("lea"), fresh("tlsf")
+        for allocator in (lea, tlsf):
+            for _ in range(200):
+                a = allocator.malloc(96)
+                b = allocator.malloc(96)
+                allocator.free(a)
+                allocator.free(b)
+        assert lea.stats.fast_allocs >= tlsf.stats.fast_allocs
+
+
+class TestBump:
+    def test_lifo_reclaim(self):
+        allocator = fresh("bump", size=4096)
+        a = allocator.malloc(64)
+        b = allocator.malloc(64)
+        used = allocator.used
+        allocator.free(b)
+        assert allocator.used == used - b.size
+        allocator.free(a)  # not top-of-stack anymore? a is now top
+        assert allocator.used == 0
+
+    def test_non_lifo_free_leaks_until_reset(self):
+        allocator = fresh("bump", size=4096)
+        a = allocator.malloc(64)
+        allocator.malloc(64)
+        used = allocator.used
+        allocator.free(a)          # middle free: no reclaim
+        assert allocator.used == used
+        allocator.reset()
+        assert allocator.used == 0
+
+
+@pytest.mark.parametrize("kind", ["tlsf", "lea"])
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(script=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=4096)),
+        min_size=1, max_size=60,
+    ))
+    def test_random_alloc_free_never_overlaps(self, kind, script):
+        allocator = fresh(kind)
+        live = []
+        for do_alloc, size in script:
+            if do_alloc or not live:
+                live.append(allocator.malloc(size))
+            else:
+                allocator.free(live.pop(len(live) // 2))
+        spans = sorted((a.offset, a.offset + a.size) for a in live)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+        assert allocator.stats.bytes_live == sum(a.size for a in live)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sizes=st.lists(
+        st.integers(min_value=1, max_value=2048), min_size=1, max_size=40,
+    ))
+    def test_full_free_allows_reallocation(self, kind, sizes):
+        allocator = fresh(kind)
+        live = [allocator.malloc(s) for s in sizes]
+        for a in live:
+            allocator.free(a)
+        assert allocator.stats.bytes_live == 0
+        # All memory must be recoverable for one big allocation.
+        big_size = sum(round_up(s) for s in sizes)
+        allocator.malloc(big_size)

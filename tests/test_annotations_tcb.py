@@ -1,0 +1,87 @@
+"""Annotation registry and TCB accounting."""
+
+import pytest
+
+from repro.core.annotations import AnnotationRegistry, SharedAnnotation
+from repro.core.tcb import TCB_LIBRARIES, TcbReport
+from repro.errors import ConfigError
+from tests.conftest import make_config
+
+
+class TestAnnotations:
+    def test_annotate_and_lookup(self):
+        registry = AnnotationRegistry()
+        registry.annotate("rx_buf", "lwip", ("newlib",))
+        annotation = registry.lookup("lwip", "rx_buf")
+        assert annotation.allows("newlib")
+        assert annotation.allows("lwip")      # owner always allowed
+        assert not annotation.allows("redis")
+
+    def test_wildcard_whitelist(self):
+        registry = AnnotationRegistry()
+        registry.annotate("run_queue", "uksched", ("*",))
+        assert registry.lookup("uksched", "run_queue").allows("anything")
+
+    def test_re_annotation_widens_whitelist(self):
+        registry = AnnotationRegistry()
+        registry.annotate("buf", "lwip", ("newlib",))
+        registry.annotate("buf", "lwip", ("redis",))
+        annotation = registry.lookup("lwip", "buf")
+        assert annotation.allows("newlib") and annotation.allows("redis")
+        assert len(registry) == 1  # still one annotation
+
+    def test_count_for_is_table1_metric(self):
+        registry = AnnotationRegistry()
+        registry.annotate("a", "lwip")
+        registry.annotate("b", "lwip")
+        registry.annotate("c", "uksched")
+        assert registry.count_for("lwip") == 2
+        assert registry.count_for("uktime") == 0
+
+    def test_storage_classes(self):
+        for storage in ("stack", "heap", "static"):
+            SharedAnnotation("v", "lib", storage=storage)
+        with pytest.raises(ConfigError):
+            SharedAnnotation("v", "lib", storage="register")
+
+    def test_iteration_sorted(self):
+        registry = AnnotationRegistry()
+        registry.annotate("z", "b")
+        registry.annotate("a", "a")
+        keys = [annotation.key for annotation in registry]
+        assert keys == sorted(keys)
+
+
+class TestTcb:
+    def test_mpk_tcb_about_3000_loc(self):
+        """"FlexOS' TCB is small: around 3000 LoC in the case of Intel
+        MPK" (Section 3.3)."""
+        report = TcbReport(make_config(mechanism="intel-mpk"))
+        assert 2500 <= report.unique_loc <= 3500
+
+    def test_ept_tcb_smaller_than_mpk(self):
+        """"...and even less for VM/EPT"."""
+        mpk = TcbReport(make_config(mechanism="intel-mpk"))
+        ept = TcbReport(make_config(mechanism="vm-ept"))
+        assert ept.unique_loc < mpk.unique_loc
+
+    def test_ept_duplicates_tcb_per_vm(self):
+        report = TcbReport(make_config(mechanism="vm-ept"))
+        assert report.duplicated
+        assert report.copies == 2
+        assert report.resident_loc > report.unique_loc
+
+    def test_mpk_single_copy(self):
+        report = TcbReport(make_config(mechanism="intel-mpk"))
+        assert not report.duplicated
+        assert report.resident_loc == report.unique_loc
+
+    def test_core_libraries_inventory(self):
+        assert set(TCB_LIBRARIES) == {
+            "ukboot", "ukalloc", "uksched", "ukintr",
+        }
+
+    def test_summary_excludes_toolchain(self):
+        summary = TcbReport(make_config()).summary()
+        assert any("Coccinelle" in item for item in summary["outside_tcb"])
+        assert "hardware" in summary["trusted_substrate"]

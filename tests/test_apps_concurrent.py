@@ -1,0 +1,98 @@
+"""Concurrent functional workloads: several clients, one image."""
+
+import pytest
+
+from repro.apps.redis import RedisApp, redis_benchmark_client
+from tests.conftest import make_config
+from tests.test_apps_redis import boot_with_net
+
+
+def run_concurrent(config, n_clients=3, per_client=8):
+    instance, host = boot_with_net(config)
+    with instance.run():
+        server = RedisApp.make_server(instance)
+        sock = instance.libc.socket(instance.net).bind(6379).listen()
+        instance.sched.create_thread(
+            "redis-acceptor",
+            lambda: server.serve_connections(
+                sock, instance.libc, instance.sched, n_clients, per_client,
+            ),
+        )
+        clients = []
+        for i in range(n_clients):
+            clients.append(instance.sched.create_thread(
+                "bench-%d" % i,
+                lambda i=i: redis_benchmark_client(
+                    host, "10.0.0.2", 6379, per_client,
+                    key=b"key%d" % i, value=b"val%d" % i,
+                ),
+            ))
+        instance.sched.run()
+    return instance, server, clients
+
+
+class TestConcurrentRedis:
+    def test_all_clients_served_without_isolation(self, none_config):
+        instance, server, clients = run_concurrent(none_config)
+        assert server.commands == 24
+        assert all(c.result == 7 for c in clients)
+
+    def test_all_clients_served_under_mpk(self):
+        config = make_config(isolate=("lwip",))
+        instance, server, clients = run_concurrent(config)
+        assert server.commands == 24
+        assert instance.gate_crossings() > 0
+
+    def test_clients_keys_do_not_interfere(self, none_config):
+        instance, server, _ = run_concurrent(none_config, n_clients=2,
+                                             per_client=4)
+        db = server.db_object.peek()
+        assert db[b"key0"] == b"val0"
+        assert db[b"key1"] == b"val1"
+
+    def test_handler_threads_get_stacks(self, none_config):
+        instance, _, _ = run_concurrent(none_config, n_clients=2,
+                                        per_client=2)
+        handlers = [t for t in instance.sched.threads
+                    if t.name.startswith("redis-conn-")]
+        assert len(handlers) == 2
+        assert all(t.stack_for(t.home_compartment) is not None
+                   for t in handlers)
+
+
+class TestConcurrentNginx:
+    def run_nginx_concurrent(self, config, n_clients=2, per_client=4):
+        from repro.apps.nginx import NginxApp, wrk_client
+
+        instance, host = boot_with_net(config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            server.publish("/index.html", b"<h1>ok</h1>")
+            sock = instance.libc.socket(instance.net).bind(80).listen()
+            instance.sched.create_thread(
+                "nginx-acceptor",
+                lambda: server.serve_connections(
+                    sock, instance.libc, instance.sched,
+                    n_clients, per_client,
+                ),
+            )
+            clients = [
+                instance.sched.create_thread(
+                    "wrk-%d" % i,
+                    lambda: wrk_client(host, "10.0.0.2", 80, per_client),
+                )
+                for i in range(n_clients)
+            ]
+            instance.sched.run()
+        return instance, server, clients
+
+    def test_multiple_wrk_connections(self, none_config):
+        instance, server, clients = self.run_nginx_concurrent(none_config)
+        assert server.requests == 8
+        assert all(c.result == 4 for c in clients)
+
+    def test_under_mpk(self):
+        config = make_config(isolate=("lwip",))
+        instance, server, _ = self.run_nginx_concurrent(config)
+        assert server.requests == 8
+        assert instance.gate_crossings() > 0

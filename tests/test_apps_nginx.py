@@ -1,0 +1,93 @@
+"""Functional Nginx tests."""
+
+import pytest
+
+from repro.apps.nginx import NginxApp, wrk_client
+from tests.conftest import make_config
+from tests.test_apps_redis import boot_with_net
+
+
+def run_nginx(config, n_requests=8, publish=None, path=b"/index.html"):
+    instance, host = boot_with_net(config)
+    with instance.run():
+        server = NginxApp.make_server(instance)
+        for doc_path, content in (publish or
+                                  {"/index.html": b"<h1>hello</h1>"}).items():
+            server.publish(doc_path, content)
+        sock = instance.libc.socket(instance.net).bind(80).listen()
+        instance.sched.create_thread(
+            "nginx", lambda: server.serve(sock, instance.libc, n_requests),
+        )
+        client = instance.sched.create_thread(
+            "wrk", lambda: wrk_client(host, "10.0.0.2", 80, n_requests,
+                                      path=path),
+        )
+        instance.sched.run()
+    return instance, server, client
+
+
+class TestFunctionalNginx:
+    def test_keepalive_requests_served(self, none_config):
+        instance, server, client = run_nginx(none_config)
+        assert server.requests == 8
+        assert client.result == 8
+
+    def test_under_mpk_isolation(self):
+        config = make_config(isolate=("lwip",))
+        instance, server, client = run_nginx(config)
+        assert client.result == 8
+        assert instance.gate_crossings() > 0
+
+    def test_content_served_correctly(self, none_config):
+        instance, _ = boot_with_net(none_config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            server.publish("/page.html", b"<p>content!</p>")
+            response = server.handle(b"GET /page.html HTTP/1.1")
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Length: 15" in response
+        assert response.endswith(b"<p>content!</p>")
+
+    def test_404_for_missing_document(self, none_config):
+        instance, _ = boot_with_net(none_config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            response = server.handle(b"GET /nope.html HTTP/1.1")
+        assert response.startswith(b"HTTP/1.1 404")
+
+    def test_405_for_post(self, none_config):
+        instance, _ = boot_with_net(none_config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            response = server.handle(b"POST /index.html HTTP/1.1")
+        assert response.startswith(b"HTTP/1.1 405")
+
+    def test_root_maps_to_index(self, none_config):
+        instance, _ = boot_with_net(none_config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            server.publish("/index.html", b"root")
+            response = server.handle(b"GET / HTTP/1.1")
+        assert response.endswith(b"root")
+
+    def test_documents_live_in_the_vfs(self, none_config):
+        instance, _ = boot_with_net(none_config)
+        with instance.run():
+            server = NginxApp.make_server(instance)
+            server.publish("/a.html", b"A")
+            assert instance.vfs.exists("/srv/a.html")
+
+
+class TestNginxProfile:
+    def test_scheduler_edge_thin(self):
+        """Nginx's scheduler coupling is far weaker than Redis' — the
+        source of the 6 % vs 43 % isolation asymmetry."""
+        from repro.apps.redis import REDIS_GET_PROFILE
+
+        nginx = NginxApp.profile
+        key = frozenset({"app", "uksched"})
+        assert nginx.crossings[key] < REDIS_GET_PROFILE.crossings[key]
+        assert nginx.work["uksched"] < REDIS_GET_PROFILE.work["uksched"]
+
+    def test_manifest_matches_table1(self):
+        assert NginxApp.manifest.paper_shared_vars == 36

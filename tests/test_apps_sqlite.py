@@ -1,0 +1,146 @@
+"""Functional SQLite tests: SQL engine, pager, journal recovery."""
+
+import pytest
+
+from repro.apps.sqlite import PAGE_SIZE, Pager, SqliteApp, insert_benchmark
+from repro.errors import ConfigError, ProtectionFault
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from tests.conftest import make_config
+
+
+def boot(config):
+    machine = Machine()
+    return FlexOSInstance(build_image(config), machine=machine).boot()
+
+
+@pytest.fixture
+def engine(none_config):
+    instance = boot(none_config)
+    ctx = instance.run()
+    ctx.__enter__()
+    try:
+        yield SqliteApp.make_engine(instance)
+    finally:
+        ctx.__exit__(None, None, None)
+
+
+class TestSqlEngine:
+    def test_create_insert_select(self, engine):
+        engine.execute("CREATE TABLE users (id, name)")
+        engine.execute("INSERT INTO users (id, name) VALUES (1, 'ada')")
+        engine.execute("INSERT INTO users (id, name) VALUES (2, 'alan')")
+        rows = engine.execute("SELECT * FROM users")
+        assert rows == [("1", "ada"), ("2", "alan")]
+
+    def test_count(self, engine):
+        engine.execute("CREATE TABLE t (x)")
+        for i in range(5):
+            engine.execute("INSERT INTO t (x) VALUES (%d)" % i)
+        assert engine.execute("SELECT COUNT(*) FROM t") == 5
+
+    def test_where_filter(self, engine):
+        engine.execute("CREATE TABLE t (k, v)")
+        engine.execute("INSERT INTO t (k, v) VALUES ('a', '1')")
+        engine.execute("INSERT INTO t (k, v) VALUES ('b', '2')")
+        rows = engine.execute("SELECT * FROM t WHERE k = 'b'")
+        assert rows == [("b", "2")]
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(ConfigError, match="no such table"):
+            engine.execute("SELECT * FROM ghost")
+
+    def test_arity_mismatch(self, engine):
+        engine.execute("CREATE TABLE t (a, b)")
+        with pytest.raises(ConfigError, match="arity"):
+            engine.execute("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_unsupported_sql(self, engine):
+        with pytest.raises(ConfigError, match="unsupported"):
+            engine.execute("DROP TABLE t")
+
+    def test_unknown_column_in_where(self, engine):
+        engine.execute("CREATE TABLE t (a)")
+        with pytest.raises(ConfigError, match="no column"):
+            engine.execute("SELECT * FROM t WHERE ghost = 1")
+
+    def test_rows_survive_in_pages(self, engine):
+        """Data really lands in VFS-backed pages, not just Python state."""
+        engine.execute("CREATE TABLE t (x)")
+        engine.execute("INSERT INTO t (x) VALUES ('persisted')")
+        page = engine.pager.read_page(1)
+        assert b"persisted" in page
+
+
+class TestJournalProtocol:
+    def test_insert_runs_full_journal_cycle(self, engine):
+        engine.execute("CREATE TABLE t (x)")
+        vfs = engine.vfs
+        syncs_before = vfs.syncs
+        engine.execute("INSERT INTO t (x) VALUES (1)")
+        assert vfs.syncs == syncs_before + 2      # journal + database
+        assert not vfs.exists("/db.sqlite-journal")  # deleted on commit
+
+    def test_rollback_restores_page(self, engine):
+        engine.execute("CREATE TABLE t (x)")
+        engine.execute("INSERT INTO t (x) VALUES ('committed')")
+        original = engine.pager.read_page(1)
+        # Simulate a crash mid-transaction: journal written, page dirtied,
+        # commit never finished.
+        engine.pager.begin(1)
+        dirty = b"X" * PAGE_SIZE
+        engine.pager.write_page(1, dirty)
+        assert engine.pager.read_page(1) == dirty
+        assert engine.pager.in_transaction
+        # Recovery on next open.
+        assert engine.pager.rollback()
+        assert engine.pager.read_page(1) == original
+        assert not engine.pager.in_transaction
+
+    def test_rollback_without_journal_is_noop(self, engine):
+        assert engine.pager.rollback() is False
+
+    def test_page_size_enforced(self, engine):
+        with pytest.raises(ConfigError):
+            engine.pager.write_page(0, b"short")
+
+
+class TestInsertBenchmark:
+    def test_benchmark_counts(self, engine):
+        assert insert_benchmark(engine, 50) == 50
+        assert engine.statements == 52  # CREATE + 50 INSERTs + SELECT
+
+    def test_transactions_touch_time_subsystem(self, engine):
+        reads_before = engine.time.reads
+        insert_benchmark(engine, 10)
+        assert engine.time.reads >= reads_before + 20  # 2 per txn
+
+    def test_fs_isolation_charges_gates(self):
+        baseline = boot(make_config(mechanism="none", isolate=()))
+        with baseline.run():
+            insert_benchmark(SqliteApp.make_engine(baseline), 20)
+        isolated = boot(make_config(isolate=("vfscore", "ramfs")))
+        with isolated.run():
+            insert_benchmark(SqliteApp.make_engine(isolated), 20)
+        assert isolated.gate_crossings() > 0
+        assert isolated.clock.cycles > baseline.clock.cycles
+
+    def test_database_pages_private_to_fs_compartment(self):
+        """With the filesystem isolated, page regions belong to the fs
+        compartment — reaching into them from outside faults."""
+        instance = boot(make_config(isolate=("vfscore", "ramfs")))
+        secret = instance.private_object("vfscore", "fd_table", value=[])
+        with instance.run():
+            with pytest.raises(ProtectionFault):
+                secret.read(instance.ctx)
+
+
+class TestSqliteProfile:
+    def test_profile_matches_fig10_structure(self):
+        profile = SqliteApp.profile
+        assert profile.fs_ops == 6
+        assert profile.time_ops == 2
+        assert frozenset({"app", "filesystem"}) in profile.crossings
+
+    def test_manifest(self):
+        assert SqliteApp.manifest.paper_shared_vars == 24

@@ -1,0 +1,121 @@
+"""ARP resolution and ICMP echo tests."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.kernel.net import LinkedDevices, NetworkStack
+from repro.kernel.net.headers import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ArpHeader,
+    IcmpHeader,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+)
+
+
+@pytest.fixture
+def pair():
+    costs = CostModel.xeon_4114()
+    clock = Clock()
+    link = LinkedDevices(costs)
+    a = NetworkStack(link.a, "10.0.0.2", costs, clock)
+    b = NetworkStack(link.b, "10.0.0.1", costs, clock)
+    return a, b
+
+
+def settle(*stacks, rounds=8):
+    for _ in range(rounds):
+        for stack in stacks:
+            stack.pump()
+
+
+class TestArpHeader:
+    def test_roundtrip(self):
+        arp = ArpHeader(ARP_REQUEST, "02:00:00:00:00:0a", "10.0.0.1",
+                        "ff:ff:ff:ff:ff:ff", "10.0.0.2")
+        parsed = ArpHeader.unpack(arp.pack())
+        assert parsed.oper == ARP_REQUEST
+        assert parsed.sender_ip == "10.0.0.1"
+        assert parsed.target_ip == "10.0.0.2"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(NetworkError):
+            ArpHeader.unpack(b"\x00" * 10)
+
+
+class TestArpResolution:
+    def test_request_reply_populates_both_caches(self, pair):
+        a, b = pair
+        a.udp_send(1, "10.0.0.1", 2, b"probe")  # triggers resolution
+        settle(a, b)
+        assert a.arp_table["10.0.0.1"] == b.device.mac
+        assert b.arp_table["10.0.0.2"] == a.device.mac
+
+    def test_parked_packet_flushed_after_resolution(self, pair):
+        a, b = pair
+        a.udp_send(1, "10.0.0.1", 7, b"parked")
+        assert b.udp_recv(7) is None  # only the ARP request went out
+        settle(a, b)
+        received = b.udp_recv(7)
+        assert received is not None
+        assert received[2] == b"parked"
+
+    def test_second_packet_skips_resolution(self, pair):
+        a, b = pair
+        a.udp_send(1, "10.0.0.1", 7, b"first")
+        settle(a, b)
+        frames_before = a.device.tx_frames
+        a.udp_send(1, "10.0.0.1", 7, b"second")
+        assert a.device.tx_frames == frames_before + 1  # no new ARP
+
+    def test_request_for_other_host_ignored(self, pair):
+        a, b = pair
+        # Ask for an address nobody owns: no reply arrives.
+        a._send_arp(ARP_REQUEST, "ff:ff:ff:ff:ff:ff", "10.0.0.99")
+        settle(a, b)
+        assert "10.0.0.99" not in a.arp_table
+
+    def test_tcp_handshake_works_through_arp(self, pair):
+        a, b = pair
+        from repro.kernel.net.tcp import TcpState
+
+        listener = a.tcp_listen(80)
+        conn = b.tcp_connect("10.0.0.2", 80)
+        settle(a, b, rounds=12)
+        assert conn.state is TcpState.ESTABLISHED
+        assert a.tcp_accept(listener) is not None
+
+
+class TestIcmp:
+    def test_icmp_header_roundtrip(self):
+        packed = IcmpHeader(ICMP_ECHO_REQUEST, 7, 3).pack(b"payload")
+        header, payload = IcmpHeader.unpack(packed)
+        assert header.icmp_type == ICMP_ECHO_REQUEST
+        assert (header.ident, header.seq) == (7, 3)
+        assert payload == b"payload"
+
+    def test_corrupted_checksum_rejected(self):
+        packed = bytearray(IcmpHeader(ICMP_ECHO_REQUEST, 1, 1).pack())
+        packed[-1] ^= 0xFF
+        with pytest.raises(NetworkError):
+            IcmpHeader.unpack(bytes(packed))
+
+    def test_ping_round_trip(self, pair):
+        a, b = pair
+        ident = a.ping("10.0.0.1", seq=9)
+        settle(a, b, rounds=10)
+        assert (("10.0.0.1", ident, 9)) in a.ping_replies
+
+    def test_ping_unknown_host_no_reply(self, pair):
+        a, b = pair
+        a.ping("10.0.0.99", seq=1)
+        settle(a, b, rounds=10)
+        assert a.ping_replies == []
+
+    def test_echo_reply_type(self):
+        reply = IcmpHeader(ICMP_ECHO_REPLY, 1, 1).pack()
+        header, _ = IcmpHeader.unpack(reply)
+        assert header.icmp_type == ICMP_ECHO_REPLY

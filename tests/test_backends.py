@@ -1,0 +1,140 @@
+"""Backend registry and per-backend domain setup."""
+
+import pytest
+
+from repro.core.backends import (
+    BACKEND_REGISTRY,
+    CheriBackend,
+    EptBackend,
+    MpkBackend,
+    NoIsolationBackend,
+    get_backend,
+    register_backend,
+)
+from repro.core.backends.base import IsolationBackend
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ConfigError
+from tests.conftest import make_config
+
+
+class TestRegistry:
+    def test_all_four_backends_registered(self):
+        assert set(BACKEND_REGISTRY) >= {
+            "none", "intel-mpk", "vm-ept", "cheri",
+        }
+
+    def test_get_backend_instantiates(self):
+        assert isinstance(get_backend("intel-mpk"), MpkBackend)
+        assert isinstance(get_backend("vm-ept"), EptBackend)
+        assert isinstance(get_backend("none"), NoIsolationBackend)
+        assert isinstance(get_backend("cheri"), CheriBackend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            get_backend("tz")
+
+    def test_register_requires_mechanism(self):
+        with pytest.raises(ConfigError):
+            @register_backend
+            class Anonymous(IsolationBackend):
+                pass
+
+    def test_backend_loc_matches_paper(self):
+        """Section 4: 1400 LoC for MPK, 1000 for EPT."""
+        assert MpkBackend.loc == 1400
+        assert EptBackend.loc == 1000
+
+    def test_transform_rules_per_backend(self):
+        assert "gate-to-mpk" in MpkBackend().transform_rules()
+        assert "rpc-server-generation" in EptBackend().transform_rules()
+        assert "shared-to-__capability" in CheriBackend().transform_rules()
+
+
+class TestMpkSetup:
+    def test_distinct_pkeys_and_shared_domain(self):
+        config = make_config(isolate=("lwip", "uksched"), n_extra=2)
+        instance = FlexOSInstance(build_image(config),
+                                  machine=Machine()).boot()
+        pkeys = [c.pkey for c in instance.image.compartments]
+        assert len(set(pkeys)) == 3
+        assert instance.shared_pkey not in pkeys
+
+    def test_sections_stamped_with_compartment_keys(self):
+        instance = FlexOSInstance(build_image(make_config()),
+                                  machine=Machine()).boot()
+        lwip_comp = instance.image.compartment_of("lwip")
+        lwip_regions = instance.memory.regions_of(lwip_comp.index)
+        assert lwip_regions
+        assert all(r.pkey == lwip_comp.pkey for r in lwip_regions
+                   if r.kind in ("data", "bss", "heap"))
+
+    def test_too_many_compartments_exhausts_keys(self):
+        from repro.core.config import CompartmentSpec, SafetyConfig
+
+        from repro.kernel.lib import register_library
+
+        specs = [CompartmentSpec("c0", mechanism="intel-mpk", default=True)]
+        assignment = {}
+        libs = ["lib%d" % i for i in range(16)]
+        for lib in libs:
+            register_library(lib, role="user", loc=10)
+        for i, lib in enumerate(libs):
+            specs.append(CompartmentSpec("c%d" % (i + 1),
+                                         mechanism="intel-mpk"))
+            assignment[lib] = "c%d" % (i + 1)
+        config = SafetyConfig(specs, assignment)
+        with pytest.raises(ConfigError, match="protection keys"):
+            FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+class TestEptSetup:
+    def test_heaps_mapped_only_in_own_vm(self, ept_instance):
+        comps = ept_instance.image.compartments
+        for comp in comps:
+            heap_region = ept_instance.memmgr.heap_of(comp.index).region
+            assert comp.address_space.is_mapped(heap_region)
+            for other in comps:
+                if other.index != comp.index:
+                    assert not other.address_space.is_mapped(heap_region)
+
+    def test_shared_heap_mapped_everywhere(self, ept_instance):
+        region = ept_instance.memmgr.shared_heap.region
+        for comp in ept_instance.image.compartments:
+            assert comp.address_space.is_mapped(region)
+
+    def test_shared_window_everywhere(self, ept_instance):
+        region = ept_instance.shared_window.region
+        for comp in ept_instance.image.compartments:
+            assert comp.address_space.is_mapped(region)
+
+    def test_gates_know_legal_entries(self, ept_instance):
+        router = ept_instance.router
+        comps = ept_instance.image.compartments
+        gate = router.gate_between(comps[0].index, comps[1].index)
+        assert gate.legal_entries == \
+            ept_instance.image.legal_entries[comps[1].index]
+
+
+class TestCheriSetup:
+    def test_boots_and_routes(self):
+        config = make_config(mechanism="cheri")
+        instance = FlexOSInstance(build_image(config),
+                                  machine=Machine()).boot()
+        from repro.kernel.lib import entrypoint
+
+        @entrypoint("lwip")
+        def capability_call():
+            return instance.ctx.compartment
+
+        with instance.run():
+            dst = instance.image.compartment_of("lwip").index
+            assert capability_call() == dst
+
+    def test_thread_hook_initialises_capabilities(self):
+        config = make_config(mechanism="cheri")
+        instance = FlexOSInstance(build_image(config),
+                                  machine=Machine()).boot()
+        with instance.run():
+            thread = instance.sched.create_thread("t", lambda: iter(()))
+        assert getattr(thread, "cheri_initialised", False)

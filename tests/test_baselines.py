@@ -1,0 +1,151 @@
+"""Baseline comparators and the Fig. 10 orderings."""
+
+import pytest
+
+from repro.apps.base import ComponentLayout, evaluate_profile
+from repro.apps.sqlite import SQLITE_INSERT_PROFILE
+from repro.baselines import (
+    CubicleOsBaseline,
+    LinuxBaseline,
+    Sel4GenodeBaseline,
+    UnikraftBaseline,
+)
+from repro.errors import ConfigError
+from repro.hw.costs import CostModel
+
+
+@pytest.fixture
+def costs():
+    return CostModel.xeon_4114()
+
+
+PROFILE = SQLITE_INSERT_PROFILE
+
+
+def flexos_cycles(partition, mechanism, costs):
+    layout = ComponentLayout(
+        "fig10", partition,
+        mechanism=mechanism if len(partition) > 1 else "none",
+    )
+    return evaluate_profile(PROFILE, layout, costs, "sqlite")["cycles"]
+
+
+FLEXOS_NONE = (({"app", "filesystem", "uktime", "newlib"},), "none")
+FLEXOS_MPK3 = (
+    ({"app", "newlib"}, {"filesystem"}, {"uktime"}), "intel-mpk",
+)
+FLEXOS_EPT2 = (({"app", "newlib", "uktime"}, {"filesystem"}), "vm-ept")
+
+
+class TestUnikraft:
+    def test_kvm_is_pure_work(self, costs):
+        baseline = UnikraftBaseline("kvm")
+        cycles = baseline.transaction_cycles(PROFILE, costs)
+        assert cycles == pytest.approx(
+            sum(PROFILE.work.values())
+            + PROFILE.alloc_pairs * (110 + 60)
+        )
+
+    def test_linuxu_pays_syscalls(self, costs):
+        kvm = UnikraftBaseline("kvm").transaction_cycles(PROFILE, costs)
+        linuxu = UnikraftBaseline("linuxu").transaction_cycles(PROFILE,
+                                                               costs)
+        assert linuxu > 3 * kvm
+
+    def test_unknown_platform(self):
+        with pytest.raises(ConfigError):
+            UnikraftBaseline("xen")
+
+
+class TestFig10Claims:
+    """The quantitative claims of Section 6.4."""
+
+    def test_flexos_none_matches_unikraft(self, costs):
+        unikraft = UnikraftBaseline("kvm").transaction_cycles(PROFILE, costs)
+        flexos = flexos_cycles(*FLEXOS_NONE, costs)
+        assert flexos == pytest.approx(unikraft, rel=0.02)
+
+    def test_mpk3_about_2x(self, costs):
+        base = flexos_cycles(*FLEXOS_NONE, costs)
+        mpk3 = flexos_cycles(*FLEXOS_MPK3, costs)
+        assert mpk3 / base == pytest.approx(2.0, abs=0.25)
+
+    def test_ept2_close_to_linux(self, costs):
+        """"FlexOS with EPT2 performs almost identically to Linux" —
+        because the EPT gate latency matches the syscall latency."""
+        ept2 = flexos_cycles(*FLEXOS_EPT2, costs)
+        linux = LinuxBaseline().transaction_cycles(PROFILE, costs)
+        assert ept2 == pytest.approx(linux, rel=0.10)
+
+    def test_mpk3_faster_than_linux(self, costs):
+        """The LibOS benefit: still significantly faster than Linux."""
+        mpk3 = flexos_cycles(*FLEXOS_MPK3, costs)
+        linux = LinuxBaseline().transaction_cycles(PROFILE, costs)
+        assert linux > 1.4 * mpk3
+
+    def test_sel4_about_3x_slower_than_mpk3(self, costs):
+        sel4 = Sel4GenodeBaseline().transaction_cycles(PROFILE, costs)
+        mpk3 = flexos_cycles(*FLEXOS_MPK3, costs)
+        assert sel4 / mpk3 == pytest.approx(3.1, abs=0.5)
+
+    def test_sel4_about_2x_slower_than_ept2(self, costs):
+        sel4 = Sel4GenodeBaseline().transaction_cycles(PROFILE, costs)
+        ept2 = flexos_cycles(*FLEXOS_EPT2, costs)
+        assert 1.3 <= sel4 / ept2 <= 2.2
+
+    def test_cubicleos_order_of_magnitude_slower(self, costs):
+        cubicle = CubicleOsBaseline(3).transaction_cycles(PROFILE, costs)
+        mpk3 = flexos_cycles(*FLEXOS_MPK3, costs)
+        assert cubicle / mpk3 >= 8.0
+
+    def test_cubicleos_overhead_vs_own_baseline(self, costs):
+        """CubicleOS with 3 cubicles adds ~2.4x over its own baseline,
+        ~30 % more than FlexOS' equivalent overhead."""
+        own_base = CubicleOsBaseline(1).transaction_cycles(PROFILE, costs)
+        pt3 = CubicleOsBaseline(3).transaction_cycles(PROFILE, costs)
+        assert pt3 / own_base == pytest.approx(2.4, abs=0.4)
+        flexos_ratio = (flexos_cycles(*FLEXOS_MPK3, costs)
+                        / flexos_cycles(*FLEXOS_NONE, costs))
+        assert pt3 / own_base > flexos_ratio
+
+    def test_cubicleos_none_beats_linuxu(self, costs):
+        """The Lea-vs-TLSF allocator effect (Fig. 10 footnote)."""
+        cubicle = CubicleOsBaseline(1).transaction_cycles(PROFILE, costs)
+        linuxu = UnikraftBaseline("linuxu").transaction_cycles(PROFILE,
+                                                               costs)
+        assert cubicle < linuxu
+
+    def test_full_ordering(self, costs):
+        """The complete Fig. 10 bar ordering (fastest to slowest)."""
+        times = [
+            flexos_cycles(*FLEXOS_NONE, costs),
+            flexos_cycles(*FLEXOS_MPK3, costs),
+            flexos_cycles(*FLEXOS_EPT2, costs),
+            Sel4GenodeBaseline().transaction_cycles(PROFILE, costs),
+            CubicleOsBaseline(2).transaction_cycles(PROFILE, costs),
+            CubicleOsBaseline(3).transaction_cycles(PROFILE, costs),
+        ]
+        assert times == sorted(times)
+
+    def test_pt2_cheaper_than_pt3(self, costs):
+        pt2 = CubicleOsBaseline(2).transaction_cycles(PROFILE, costs)
+        pt3 = CubicleOsBaseline(3).transaction_cycles(PROFILE, costs)
+        assert pt2 < pt3
+
+
+class TestWallClock:
+    def test_run_workload_scales_linearly(self, costs):
+        baseline = LinuxBaseline()
+        t1 = baseline.run_workload(PROFILE, costs, 1000)
+        t5 = baseline.run_workload(PROFILE, costs, 5000)
+        assert t5 == pytest.approx(5 * t1)
+
+    def test_kpti_slows_linux(self, costs):
+        plain = LinuxBaseline(kpti=False).transaction_cycles(PROFILE, costs)
+        kpti = LinuxBaseline(kpti=True).transaction_cycles(PROFILE, costs)
+        assert kpti > plain
+
+    def test_gate_latency_helpers(self, costs):
+        assert LinuxBaseline().gate_latency(costs) == costs.syscall
+        assert Sel4GenodeBaseline().gate_latency(costs) == \
+            costs.microkernel_ipc

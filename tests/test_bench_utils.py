@@ -1,0 +1,103 @@
+"""Wayfinder runner and table-formatting tests."""
+
+import random
+
+import pytest
+
+from repro.bench import SweepResult, Wayfinder, format_series, format_table
+from repro.errors import ExplorationError
+
+
+class FakeConfig:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+class TestWayfinder:
+    def test_basic_sweep(self):
+        configs = [FakeConfig("a", 10), FakeConfig("b", 20)]
+        result = Wayfinder().sweep(configs, lambda c: c.value)
+        assert result.as_dict() == {"a": 10, "b": 20}
+        assert result.best()[0] == "b"
+        assert result.worst()[0] == "a"
+
+    def test_normalization(self):
+        configs = [FakeConfig("base", 100), FakeConfig("half", 50)]
+        result = Wayfinder().sweep(configs, lambda c: c.value)
+        assert result.normalized_to("base") == {"base": 1.0, "half": 0.5}
+
+    def test_unknown_name_rejected(self):
+        result = Wayfinder().sweep([FakeConfig("a", 1)], lambda c: c.value)
+        with pytest.raises(ExplorationError):
+            result.value_of("ghost")
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ExplorationError):
+            Wayfinder().sweep([], lambda c: 0)
+
+    def test_repetitions_median_resists_outliers(self):
+        samples = iter([100, 100, 100, 9999, 100])
+        config = FakeConfig("noisy", 0)
+        result = Wayfinder().sweep([config], lambda c: next(samples),
+                                   repetitions=5)
+        assert result.value_of("noisy") == 100
+
+    def test_noise_model_is_bounded_and_reproducible(self):
+        config = FakeConfig("x", 1000.0)
+        first = Wayfinder().sweep([config], lambda c: c.value,
+                                  repetitions=7, noise=random.Random(42))
+        second = Wayfinder().sweep([config], lambda c: c.value,
+                                   repetitions=7, noise=random.Random(42))
+        assert first.value_of("x") == second.value_of("x")
+        assert abs(first.value_of("x") - 1000.0) <= 30.0
+
+    def test_bad_repetitions(self):
+        with pytest.raises(ExplorationError):
+            Wayfinder().sweep([FakeConfig("a", 1)], lambda c: 1,
+                              repetitions=0)
+
+    def test_custom_names(self):
+        result = Wayfinder().sweep(
+            [FakeConfig("ignored", 5)], lambda c: c.value,
+            name_of=lambda c: "custom",
+        )
+        assert result.names() == ["custom"]
+
+
+class TestFormatting:
+    def test_table_from_dicts(self):
+        text = format_table(
+            [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}], title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_from_sequences(self):
+        text = format_table([(1, 2), (3, 4)], headers=["x", "y"])
+        assert "x" in text and "3" in text
+
+    def test_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_table_alignment(self):
+        text = format_table([{"col": "a"}, {"col": "longer"}])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_series_grid(self):
+        series = {
+            "fast": [(1, 10.0), (2, 20.0)],
+            "slow": [(1, 1.0)],
+        }
+        text = format_series(series, x_label="n")
+        assert "fast" in text and "slow" in text
+        lines = text.splitlines()
+        assert lines[-1].startswith("2")  # x values ordered
+
+    def test_series_missing_points_blank(self):
+        series = {"only-one": [(1, 5.0)], "both": [(1, 1.0), (2, 2.0)]}
+        text = format_series(series)
+        assert text  # no KeyError on the hole

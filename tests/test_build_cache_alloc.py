@@ -1,0 +1,92 @@
+"""Build cache and per-compartment allocator tests."""
+
+import pytest
+
+from repro.core.config import CompartmentSpec, SafetyConfig
+from repro.core.hardening import Hardening
+from repro.core.toolchain.build import BuildCache, build_image, config_fingerprint
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ConfigError
+from repro.kernel.allocators import LeaAllocator, TlsfAllocator
+from tests.conftest import make_config
+
+
+class TestBuildCache:
+    def test_identical_config_hits(self):
+        cache = BuildCache()
+        first = build_image(make_config(), cache=cache)
+        second = build_image(make_config(), cache=cache)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_hardening_misses(self):
+        cache = BuildCache()
+        build_image(make_config(), cache=cache)
+        build_image(make_config(hardening=("asan",)), cache=cache)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_different_sharing_misses(self):
+        cache = BuildCache()
+        build_image(make_config(sharing="dss"), cache=cache)
+        build_image(make_config(sharing="heap"), cache=cache)
+        assert cache.misses == 2
+
+    def test_custom_sources_bypass_cache(self):
+        from repro.core.toolchain.sources import default_kernel_sources
+
+        cache = BuildCache()
+        build_image(make_config(), sources=default_kernel_sources(),
+                    cache=cache)
+        assert len(cache) == 0  # never cached
+
+    def test_fingerprint_is_hashable_and_stable(self):
+        a = config_fingerprint(make_config(hardening=("asan", "cfi")))
+        b = config_fingerprint(make_config(hardening=("cfi", "asan")))
+        assert a == b
+        hash(a)
+
+    def test_no_cache_still_works(self):
+        image = build_image(make_config())
+        assert image.n_compartments == 2
+
+
+class TestPerCompartmentAllocators:
+    def make_instance(self, allocator_comp2):
+        config = SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="intel-mpk", default=True),
+             CompartmentSpec("comp2", mechanism="intel-mpk",
+                             hardening=(Hardening.KASAN,),
+                             allocator=allocator_comp2)],
+            {"lwip": "comp2"},
+        )
+        return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+    def test_selected_allocator_used(self):
+        instance = self.make_instance("lea")
+        comp2 = instance.image.compartment_by_name("comp2")
+        comp1 = instance.image.compartment_by_name("comp1")
+        assert isinstance(instance.memmgr.heap_of(comp2.index),
+                          LeaAllocator)
+        # The default compartment keeps the instance default (TLSF).
+        assert isinstance(instance.memmgr.heap_of(comp1.index),
+                          TlsfAllocator)
+
+    def test_default_allocator_when_unspecified(self):
+        instance = self.make_instance(None)
+        comp2 = instance.image.compartment_by_name("comp2")
+        assert isinstance(instance.memmgr.heap_of(comp2.index),
+                          TlsfAllocator)
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ConfigError):
+            CompartmentSpec("c", allocator="jemalloc")
+
+    def test_heaps_are_independent(self):
+        instance = self.make_instance("lea")
+        comp1 = instance.image.compartment_by_name("comp1")
+        comp2 = instance.image.compartment_by_name("comp2")
+        a = instance.memmgr.heap_of(comp1.index).malloc(64)
+        b = instance.memmgr.heap_of(comp2.index).malloc(64)
+        assert a.allocator is not b.allocator
+        assert a.address != b.address

@@ -1,0 +1,126 @@
+"""Paper-anchor calibration tests (Section 6 headline numbers).
+
+These tests pin this reproduction's *shape* to the paper's reported
+results; EXPERIMENTS.md documents each anchor with the measured value.
+"""
+
+import pytest
+
+from repro.apps.base import evaluate_profile
+from repro.apps.nginx import NGINX_HTTP_PROFILE
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.explore import generate_fig6_space
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def sweep(profile, library):
+    layouts = generate_fig6_space()
+    return {
+        layout.name: evaluate_profile(
+            profile, layout, DEFAULT_COSTS, library,
+        )["requests_per_second"]
+        for layout in layouts
+    }
+
+
+@pytest.fixture(scope="module")
+def redis_perf():
+    return sweep(REDIS_GET_PROFILE, "redis")
+
+
+@pytest.fixture(scope="module")
+def nginx_perf():
+    return sweep(NGINX_HTTP_PROFILE, "nginx")
+
+
+def drop(perf, name):
+    return 1.0 - perf[name] / perf["A/none"]
+
+
+class TestRedisAnchors:
+    """Section 6.1, Redis paragraph."""
+
+    def test_order_of_magnitude_spread(self, redis_perf):
+        """Paper: 292K - 1.2M req/s, a ~4.1x spread."""
+        spread = max(redis_perf.values()) / min(redis_perf.values())
+        assert 3.5 <= spread <= 5.5
+
+    def test_fastest_is_no_isolation_no_hardening(self, redis_perf):
+        assert max(redis_perf, key=redis_perf.get) == "A/none"
+
+    def test_isolating_lwip_costs_about_11_percent(self, redis_perf):
+        assert drop(redis_perf, "C/none") == pytest.approx(0.11, abs=0.04)
+
+    def test_isolating_scheduler_costs_about_43_percent(self, redis_perf):
+        assert drop(redis_perf, "B/none") == pytest.approx(0.43, abs=0.04)
+
+    def test_hardening_scheduler_costs_about_24_percent(self, redis_perf):
+        assert drop(redis_perf, "A/uksched") == pytest.approx(0.24,
+                                                              abs=0.03)
+
+    def test_hardening_app_costs_about_42_percent(self, redis_perf):
+        assert drop(redis_perf, "A/app") == pytest.approx(0.42, abs=0.04)
+
+    def test_isolation_for_free(self, redis_perf):
+        """Isolating lwip|sched|rest (E) costs exactly what the two
+        2-compartment cuts cost together — the lwip<->sched boundary adds
+        nothing because lwip never calls the scheduler.  In cycle space,
+        overhead(E) == overhead(B) + overhead(C)."""
+        def cycles(name):
+            return 1.0 / redis_perf[name]
+
+        overhead_e = cycles("E/none") - cycles("A/none")
+        overhead_b = cycles("B/none") - cycles("A/none")
+        overhead_c = cycles("C/none") - cycles("A/none")
+        assert overhead_e == pytest.approx(overhead_b + overhead_c,
+                                           rel=0.02)
+
+
+class TestNginxAnchors:
+    """Section 6.1, Nginx paragraph."""
+
+    def test_isolating_scheduler_cheap(self, nginx_perf):
+        """6 % for Nginx versus 43 % for Redis."""
+        assert drop(nginx_perf, "B/none") == pytest.approx(0.06, abs=0.03)
+
+    def test_hardening_scheduler_cheap(self, nginx_perf):
+        """2 % for Nginx versus 24 % for Redis."""
+        assert drop(nginx_perf, "A/uksched") == pytest.approx(0.02,
+                                                              abs=0.02)
+
+    def test_more_low_overhead_configs_than_redis(self, redis_perf,
+                                                  nginx_perf):
+        """Paper: 9 Nginx configs under 20 % overhead vs 2 for Redis;
+        32 vs 20 under 45 %."""
+        def count_under(perf, threshold):
+            base = perf["A/none"]
+            return sum(1 for v in perf.values()
+                       if v > base * (1 - threshold))
+
+        assert count_under(nginx_perf, 0.20) > count_under(redis_perf, 0.20)
+        assert count_under(nginx_perf, 0.45) > count_under(redis_perf, 0.45)
+
+    def test_uneven_slowdowns_across_apps(self, redis_perf, nginx_perf):
+        """Fig. 7's point: the same configuration slows the two apps
+        differently, so one-size-fits-all configurations are suboptimal."""
+        ratios = []
+        for name in redis_perf:
+            r = redis_perf[name] / redis_perf["A/none"]
+            n = nginx_perf[name] / nginx_perf["A/none"]
+            ratios.append(n / r)
+        assert max(ratios) / min(ratios) > 1.3
+
+
+class TestCrossAppFigure7:
+    def test_normalized_points_cover_both_triangles(self, redis_perf,
+                                                    nginx_perf):
+        """Some configs hurt Redis more, others hurt Nginx more."""
+        above = below = 0
+        for name in redis_perf:
+            r = redis_perf[name] / redis_perf["A/none"]
+            n = nginx_perf[name] / nginx_perf["A/none"]
+            if n > r + 0.02:
+                above += 1
+            elif r > n + 0.02:
+                below += 1
+        assert above > 0 and below > 0

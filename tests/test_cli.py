@@ -1,0 +1,127 @@
+"""CLI tests."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+CONFIG = """\
+compartments:
+  comp1:
+    mechanism: intel-mpk
+    default: True
+  comp2:
+    mechanism: intel-mpk
+    hardening: [asan]
+libraries:
+  - lwip: comp2
+"""
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "test.flexos.yaml"
+    path.write_text(CONFIG)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestBuild:
+    def test_build_summary(self, config_file):
+        code, output = run(["build", config_file])
+        assert code == 0
+        assert "mechanism:        intel-mpk" in output
+        assert "compartments:     2" in output
+        assert "gates inserted:" in output
+
+    def test_missing_file(self):
+        code, output = run(["build", "/does/not/exist.yaml"])
+        assert code == 2
+        assert "error" in output
+
+    def test_bad_config(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("libraries:\n  - a: b\n")
+        code, output = run(["build", str(path)])
+        assert code == 1
+        assert "error" in output
+
+    def test_sharing_option(self, config_file):
+        code, output = run(["build", config_file, "--sharing", "heap"])
+        assert code == 0
+        assert "heap conversions" in output
+
+
+class TestInspect:
+    def test_compartment_table(self, config_file):
+        code, output = run(["inspect", config_file])
+        assert code == 0
+        assert "comp1" in output and "comp2" in output
+        assert "lwip" in output
+        assert "kasan" in output
+
+    def test_linker_script_flag(self, config_file):
+        code, output = run(["inspect", config_file, "--linker-script"])
+        assert code == 0
+        assert "SECTIONS" in output
+
+
+class TestTcb:
+    def test_mpk_accounting(self, config_file):
+        code, output = run(["tcb", config_file])
+        assert code == 0
+        assert "unique trusted" in output
+        assert "Coccinelle" in output
+
+    def test_ept_duplication_reported(self, tmp_path):
+        path = tmp_path / "ept.yaml"
+        path.write_text(CONFIG.replace("intel-mpk", "vm-ept")
+                        .replace("    hardening: [asan]\n", ""))
+        code, output = run(["tcb", str(path)])
+        assert code == 0
+        assert "duplicated into each of 2 VMs" in output
+
+
+class TestExplore:
+    def test_redis_exploration(self):
+        code, output = run(["explore", "--app", "redis",
+                            "--budget", "500000"])
+        assert code == 0
+        assert "explored 80 configurations" in output
+        assert "starred" in output
+
+    def test_impossible_budget(self):
+        code, output = run(["explore", "--app", "nginx",
+                            "--budget", "999999999"])
+        assert code == 0
+        assert "no configuration meets the budget" in output
+
+    def test_full_space_flag(self):
+        code, output = run(["explore", "--app", "redis",
+                            "--budget", "500000", "--full-space"])
+        assert code == 0
+        assert "explored 224 configurations" in output
+
+    def test_dot_output(self, tmp_path):
+        dot_path = str(tmp_path / "poset.dot")
+        code, output = run(["explore", "--app", "redis",
+                            "--budget", "500000", "--dot", dot_path])
+        assert code == 0
+        with open(dot_path) as handle:
+            content = handle.read()
+        assert content.startswith("digraph flexos_poset")
+        assert "peripheries=3" in content  # stars present
+
+
+class TestTable1:
+    def test_prints_table(self):
+        code, output = run(["table1"])
+        assert code == 0
+        assert "TCP/IP stack (LwIP)" in output
+        assert "+542 / -275" in output

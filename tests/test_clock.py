@@ -1,0 +1,78 @@
+"""Virtual clock unit tests."""
+
+import pytest
+
+from repro.hw.clock import XEON_4114_HZ, Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().cycles == 0
+
+    def test_charge_accumulates(self):
+        clock = Clock()
+        clock.charge(100)
+        clock.charge(50)
+        assert clock.cycles == 150
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().charge(-1)
+
+    def test_zero_charge_allowed(self):
+        clock = Clock()
+        clock.charge(0)
+        assert clock.cycles == 0
+
+    def test_default_frequency_is_xeon(self):
+        assert Clock().freq_hz == XEON_4114_HZ == 2_200_000_000
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(freq_hz=0)
+
+    def test_ns_conversion(self):
+        clock = Clock(freq_hz=1_000_000_000)  # 1 GHz: 1 cycle == 1 ns
+        clock.charge(42)
+        assert clock.ns == pytest.approx(42)
+
+    def test_seconds_conversion(self):
+        clock = Clock()
+        clock.charge(XEON_4114_HZ)
+        assert clock.seconds == pytest.approx(1.0)
+
+    def test_roundtrip_conversions(self):
+        clock = Clock()
+        assert clock.ns_to_cycles(clock.cycles_to_ns(123)) == pytest.approx(123)
+
+
+class TestMeasure:
+    def test_measure_captures_delta(self):
+        clock = Clock()
+        clock.charge(10)
+        with clock.measure() as m:
+            clock.charge(25)
+        assert m.cycles == 25
+
+    def test_measure_nested(self):
+        clock = Clock()
+        with clock.measure() as outer:
+            clock.charge(5)
+            with clock.measure() as inner:
+                clock.charge(7)
+        assert inner.cycles == 7
+        assert outer.cycles == 12
+
+    def test_measure_ns(self):
+        clock = Clock(freq_hz=2_000_000_000)
+        with clock.measure() as m:
+            clock.charge(4)
+        assert m.ns == pytest.approx(2.0)
+
+    def test_measure_survives_exception(self):
+        clock = Clock()
+        with pytest.raises(RuntimeError):
+            with clock.measure() as m:
+                clock.charge(9)
+                raise RuntimeError("boom")
+        assert m.cycles == 9

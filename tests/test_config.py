@@ -1,0 +1,178 @@
+"""SafetyConfig validation and the paper's configuration-file format."""
+
+import pytest
+
+from repro.core.config import (
+    CompartmentSpec,
+    SafetyConfig,
+    loads_config,
+    single_compartment,
+)
+from repro.core.hardening import Hardening
+from repro.errors import ConfigError
+
+
+def two_comp(**kwargs):
+    return SafetyConfig(
+        [CompartmentSpec("comp1", mechanism="intel-mpk", default=True),
+         CompartmentSpec("comp2", mechanism="intel-mpk")],
+        {"lwip": "comp2"}, **kwargs,
+    )
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        config = two_comp()
+        assert config.n_compartments == 2
+        assert config.mechanism == "intel-mpk"
+
+    def test_exactly_one_default(self):
+        with pytest.raises(ConfigError, match="default"):
+            SafetyConfig(
+                [CompartmentSpec("a"), CompartmentSpec("b")], {},
+            )
+        with pytest.raises(ConfigError, match="default"):
+            SafetyConfig(
+                [CompartmentSpec("a", default=True),
+                 CompartmentSpec("b", default=True)], {},
+            )
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ConfigError):
+            CompartmentSpec("c", mechanism="sgx")
+
+    def test_assignment_to_unknown_compartment(self):
+        with pytest.raises(ConfigError):
+            SafetyConfig(
+                [CompartmentSpec("comp1", default=True)],
+                {"lwip": "ghost"},
+            )
+
+    def test_mixed_mechanisms_rejected(self):
+        with pytest.raises(ConfigError, match="mixed"):
+            SafetyConfig(
+                [CompartmentSpec("a", mechanism="intel-mpk", default=True),
+                 CompartmentSpec("b", mechanism="vm-ept")],
+                {"lwip": "b"},
+            )
+
+    def test_bad_sharing_strategy(self):
+        with pytest.raises(ConfigError):
+            two_comp(sharing="telepathy")
+
+    def test_bad_gate_flavour(self):
+        with pytest.raises(ConfigError):
+            two_comp(mpk_gate="medium")
+
+    def test_duplicate_compartment_names(self):
+        with pytest.raises(ConfigError):
+            SafetyConfig(
+                [CompartmentSpec("c", default=True), CompartmentSpec("c")],
+                {},
+            )
+
+
+class TestLookups:
+    def test_compartment_of_assigned(self):
+        assert two_comp().compartment_of("lwip") == "comp2"
+
+    def test_compartment_of_unassigned_is_default(self):
+        assert two_comp().compartment_of("uksched") == "comp1"
+
+    def test_same_compartment(self):
+        config = two_comp()
+        assert config.same_compartment("uksched", "vfscore")
+        assert not config.same_compartment("uksched", "lwip")
+
+    def test_libraries_in(self):
+        assert two_comp().libraries_in("comp2") == ["lwip"]
+
+    def test_hardening_of(self):
+        config = SafetyConfig(
+            [CompartmentSpec("comp1", default=True),
+             CompartmentSpec("comp2", hardening=["cfi", "asan"])],
+            {"lwip": "comp2"},
+        )
+        assert config.hardening_of("lwip") == frozenset(
+            {Hardening.CFI, Hardening.KASAN}
+        )
+        assert config.hardening_of("uksched") == frozenset()
+
+    def test_partition(self):
+        config = two_comp()
+        partition = config.partition(["lwip", "uksched", "redis"])
+        assert frozenset({"lwip"}) in partition
+        assert frozenset({"uksched", "redis"}) in partition
+
+    def test_single_compartment_helper(self):
+        config = single_compartment(["lwip", "redis"])
+        assert config.n_compartments == 1
+        assert config.mechanism == "none"
+
+    def test_derived_name_is_stable(self):
+        assert "lwip" in two_comp().name
+
+
+class TestConfigFileFormat:
+    """The YAML-subset snippet from Section 3."""
+
+    PAPER_SNIPPET = """\
+compartments:
+  comp1:
+    mechanism: intel-mpk
+    default: True
+  comp2:
+    mechanism: intel-mpk
+    hardening: [cfi, asan]
+libraries:
+  - libredis: comp1
+  - libopenjpg: comp2
+  - lwip: comp2
+"""
+
+    def test_paper_snippet_parses(self):
+        config = loads_config(self.PAPER_SNIPPET)
+        assert config.n_compartments == 2
+        assert config.compartment_of("lwip") == "comp2"
+        assert config.compartment_of("libredis") == "comp1"
+        assert Hardening.CFI in config.compartments["comp2"].hardening
+        assert Hardening.KASAN in config.compartments["comp2"].hardening
+        assert config.default_compartment.name == "comp1"
+
+    def test_missing_compartments_section(self):
+        with pytest.raises(ConfigError):
+            loads_config("libraries:\n  - a: b\n")
+
+    def test_empty_hardening_list(self):
+        text = (
+            "compartments:\n"
+            "  c1:\n"
+            "    mechanism: none\n"
+            "    default: true\n"
+            "    hardening: []\n"
+        )
+        config = loads_config(text)
+        assert config.compartments["c1"].hardening == frozenset()
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# a comment\n"
+            "compartments:\n"
+            "\n"
+            "  c1:\n"
+            "    # nested comment\n"
+            "    mechanism: none\n"
+            "    default: true\n"
+        )
+        assert loads_config(text).n_compartments == 1
+
+    def test_bad_library_entry(self):
+        text = (
+            "compartments:\n"
+            "  c1:\n"
+            "    default: true\n"
+            "libraries:\n"
+            "  - justaname\n"
+        )
+        with pytest.raises(ConfigError):
+            loads_config(text)

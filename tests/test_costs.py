@@ -1,0 +1,98 @@
+"""Cost-model calibration tests: the paper's published ratios must hold."""
+
+import pytest
+
+from repro.hw.costs import CostModel
+
+
+@pytest.fixture
+def costs():
+    return CostModel.xeon_4114()
+
+
+class TestGateComposition:
+    def test_full_gate_decomposition_sums(self, costs):
+        expected = (
+            costs.wrpkru + costs.register_save + costs.register_clear
+            + costs.stack_registry + costs.stack_switch
+            + costs.function_call + costs.gate_misc_full
+        )
+        assert costs.gate_mpk_full == pytest.approx(expected)
+
+    def test_light_gate_decomposition_sums(self, costs):
+        expected = (
+            costs.wrpkru + costs.pkru_check + costs.function_call
+            + costs.gate_misc_light
+        )
+        assert costs.gate_mpk_light == pytest.approx(expected)
+
+    def test_ept_gate_includes_entry_check(self, costs):
+        assert costs.gate_ept == costs.gate_ept_rpc + costs.ept_entry_check
+
+
+class TestPaperRatios:
+    """Fig. 11b anchors."""
+
+    def test_light_80_percent_faster_than_full(self, costs):
+        ratio = costs.gate_mpk_full / costs.gate_mpk_light
+        assert ratio == pytest.approx(1.8, rel=0.05)
+
+    def test_light_7_6x_faster_than_ept(self, costs):
+        ratio = costs.gate_ept / costs.gate_mpk_light
+        assert ratio == pytest.approx(7.6, rel=0.1)
+
+    def test_ept_close_to_syscall_without_kpti(self, costs):
+        assert costs.gate_ept == pytest.approx(costs.syscall, rel=0.1)
+
+    def test_kpti_syscall_slower(self, costs):
+        assert costs.syscall_kpti > costs.syscall
+
+    def test_function_call_cheapest(self, costs):
+        assert costs.function_call < costs.gate_mpk_light
+
+    def test_heap_alloc_orders_of_magnitude_above_stack(self, costs):
+        """Fig. 11a: heap allocs are 100-300+ cycles vs ~2 for stack."""
+        pair = costs.heap_alloc_fast + costs.heap_free_fast
+        assert 100 <= pair <= 400
+        assert costs.stack_alloc <= 4
+        assert costs.dss_alloc == costs.stack_alloc
+
+
+class TestGateOneWay:
+    def test_none_is_half_a_call(self, costs):
+        assert costs.gate_one_way("none") == costs.function_call / 2
+
+    def test_mpk_flavours(self, costs):
+        assert costs.gate_one_way("intel-mpk") == costs.gate_mpk_full
+        assert costs.gate_one_way("intel-mpk", light=True) == \
+            costs.gate_mpk_light
+
+    def test_ept(self, costs):
+        assert costs.gate_one_way("vm-ept") == costs.gate_ept
+
+    def test_cheri_between_call_and_mpk(self, costs):
+        cheri = costs.gate_one_way("cheri")
+        assert costs.function_call < cheri < costs.gate_mpk_full
+
+    def test_unknown_mechanism_rejected(self, costs):
+        with pytest.raises(ValueError):
+            costs.gate_one_way("sgx")
+
+    def test_cross_call_is_two_transitions(self, costs):
+        assert costs.cross_call("intel-mpk") == 2 * costs.gate_mpk_full
+
+
+class TestModelHygiene:
+    def test_copy_with_overrides(self, costs):
+        tuned = costs.copy(wrpkru=60.0)
+        assert tuned.wrpkru == 60.0
+        assert costs.wrpkru == 20.0  # original untouched
+        assert tuned.syscall == costs.syscall
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(wrpkru=-1)
+
+    def test_copy_validates(self, costs):
+        with pytest.raises(ValueError):
+            costs.copy(syscall=-5)

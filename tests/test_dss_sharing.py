@@ -1,0 +1,143 @@
+"""Data Shadow Stacks and sharing strategies (Fig. 4, Fig. 11a)."""
+
+import pytest
+
+from repro.core.dss import DataShadowStack
+from repro.core.sharing import SharingStrategy
+from repro.errors import AllocationError, ConfigError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext, use_context
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.kernel.allocators import TlsfAllocator
+from repro.kernel.memmgr import STACK_SIZE
+
+
+@pytest.fixture
+def costs():
+    return CostModel.xeon_4114()
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def ctx(memory, costs):
+    return ExecutionContext(Clock(), costs, MMU(memory, costs))
+
+
+def make_dss(memory, costs):
+    stack = memory.add_region("stack", STACK_SIZE, kind="stack")
+    shadow = memory.add_region("dss", STACK_SIZE, kind="dss")
+    return DataShadowStack(stack, shadow, costs)
+
+
+class TestDss:
+    def test_shadow_is_var_plus_stack_size(self, memory, costs):
+        """The defining equation: shadow(x) == &x + STACK_SIZE."""
+        dss = make_dss(memory, costs)
+        assert dss.shadow_address(128) == \
+            dss.stack_region.base + 128 + STACK_SIZE
+
+    def test_mismatched_sizes_rejected(self, memory, costs):
+        stack = memory.add_region("stack", STACK_SIZE)
+        shadow = memory.add_region("dss", STACK_SIZE * 2)
+        with pytest.raises(AllocationError):
+            DataShadowStack(stack, shadow, costs)
+
+    def test_frame_allocations_released_on_exit(self, memory, costs):
+        dss = make_dss(memory, costs)
+        with dss.frame() as frame:
+            frame.alloc("a", 64)
+            frame.alloc("b", 64)
+            assert dss.bytes_used == 128
+        assert dss.bytes_used == 0
+
+    def test_nested_frames(self, memory, costs):
+        dss = make_dss(memory, costs)
+        with dss.frame() as outer:
+            outer.alloc("x", 32)
+            with dss.frame() as inner:
+                inner.alloc("y", 32)
+                assert dss.bytes_used == 64
+            assert dss.bytes_used == 32
+
+    def test_overflow_detected(self, memory, costs):
+        dss = make_dss(memory, costs)
+        with dss.frame() as frame:
+            with pytest.raises(AllocationError):
+                frame.alloc("huge", STACK_SIZE + 1)
+
+    def test_constant_cost_per_allocation(self, memory, costs, ctx):
+        """Fig. 11a: DSS allocations run at stack speed (constant ~2)."""
+        dss = make_dss(memory, costs)
+        with use_context(ctx):
+            for n_vars in (1, 2, 3):
+                with ctx.clock.measure() as m:
+                    with dss.frame() as frame:
+                        for i in range(n_vars):
+                            frame.alloc("v%d" % i, 1)
+                assert m.cycles == pytest.approx(
+                    n_vars * costs.dss_alloc
+                )
+
+    def test_memory_overhead_is_one_stack(self, memory, costs):
+        """"The cost is a relatively small increase in memory usage
+        (stacks are twice as large)" — 8 pages * 4 KiB = 32 KiB."""
+        dss = make_dss(memory, costs)
+        assert dss.memory_overhead == STACK_SIZE == 8 * 4096
+
+
+class TestStrategies:
+    def make_strategy(self, kind, memory, costs):
+        heap = TlsfAllocator(
+            memory.add_region("shared-heap", 1 << 20, kind="shared"),
+        )
+        stack = memory.add_region("sstack", STACK_SIZE, kind="stack")
+        dss = make_dss(memory, costs)
+        return SharingStrategy(kind, costs, shared_heap=heap,
+                               stack_region=stack, dss=dss)
+
+    @pytest.mark.parametrize("kind", ["heap", "dss", "shared-stack"])
+    def test_frames_allocate_and_release(self, kind, memory, costs):
+        strategy = self.make_strategy(kind, memory, costs)
+        with strategy.frame() as frame:
+            obj = frame.alloc("x", 8)
+            assert obj.symbol == "x"
+
+    def test_heap_frame_frees_on_close(self, memory, costs):
+        strategy = self.make_strategy("heap", memory, costs)
+        heap = strategy.shared_heap
+        with strategy.frame() as frame:
+            frame.alloc("a", 8)
+            frame.alloc("b", 8)
+            assert heap.live_allocations == 2
+        assert heap.live_allocations == 0
+
+    def test_unknown_strategy_rejected(self, costs):
+        with pytest.raises(ConfigError):
+            SharingStrategy("copy-paste", costs)
+
+    def test_missing_backing_rejected(self, costs):
+        strategy = SharingStrategy("dss", costs)
+        with pytest.raises(ConfigError):
+            strategy.frame()
+
+    def test_fig11a_cost_ordering(self, memory, costs, ctx):
+        """heap >> dss ~= shared-stack, one to two orders of magnitude."""
+        measured = {}
+        with use_context(ctx):
+            for kind in ("heap", "dss", "shared-stack"):
+                strategy = self.make_strategy(kind, memory, costs)
+                with ctx.clock.measure() as m:
+                    with strategy.frame() as frame:
+                        for i in range(3):
+                            frame.alloc("v%d" % i, 1)
+                measured[kind] = m.cycles
+        assert measured["heap"] > 50 * measured["dss"]
+        assert measured["dss"] == pytest.approx(
+            measured["shared-stack"], rel=0.5,
+        )

@@ -1,0 +1,70 @@
+"""EPT address spaces and shared windows."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.ept import AddressSpace, SharedWindow
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory()
+
+
+class TestAddressSpace:
+    def test_map_unmap(self, memory):
+        region = memory.add_region("r", PAGE_SIZE)
+        space = AddressSpace("vm1")
+        assert not space.is_mapped(region)
+        space.map(region)
+        assert space.is_mapped(region)
+        space.unmap(region)
+        assert not space.is_mapped(region)
+
+    def test_spaces_are_disjoint(self, memory):
+        region = memory.add_region("r", PAGE_SIZE)
+        a, b = AddressSpace("vm1"), AddressSpace("vm2")
+        a.map(region)
+        assert not b.is_mapped(region)
+
+
+class TestSharedWindow:
+    def test_mapped_into_all_spaces(self, memory):
+        region = memory.add_region("ivshmem", 4 * PAGE_SIZE)
+        spaces = [AddressSpace("vm%d" % i) for i in range(3)]
+        SharedWindow(region, spaces)
+        assert all(s.is_mapped(region) for s in spaces)
+
+    def test_requires_a_space(self, memory):
+        region = memory.add_region("ivshmem", PAGE_SIZE)
+        with pytest.raises(ConfigError):
+            SharedWindow(region, [])
+
+    def test_per_vm_slices_disjoint(self, memory):
+        """Each VM manages its own portion (Section 4.2)."""
+        region = memory.add_region("ivshmem", 4 * PAGE_SIZE)
+        spaces = [AddressSpace("vm1"), AddressSpace("vm2")]
+        window = SharedWindow(region, spaces)
+        s1 = window.slice_of("vm1")
+        s2 = window.slice_of("vm2")
+        assert s1[1] <= s2[0] or s2[1] <= s1[0]
+
+    def test_allocation_stays_in_own_slice(self, memory):
+        region = memory.add_region("ivshmem", 4 * PAGE_SIZE)
+        spaces = [AddressSpace("vm1"), AddressSpace("vm2")]
+        window = SharedWindow(region, spaces)
+        start, limit = window.slice_of("vm1")
+        for _ in range(10):
+            offset = window.allocate("vm1", 64)
+            assert start <= offset < limit
+
+    def test_allocation_wraps_when_full(self, memory):
+        region = memory.add_region("ivshmem", 2 * PAGE_SIZE)
+        window = SharedWindow(region, [AddressSpace("vm1")])
+        start, limit = window.slice_of("vm1")
+        size = limit - start
+        first = window.allocate("vm1", size - 8)
+        again = window.allocate("vm1", 64)
+        assert again == start  # wrapped
+        assert first == start

@@ -1,0 +1,69 @@
+"""Exception-hierarchy tests: structure and crash-report contents."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_transform_error_is_build_error(self):
+        assert issubclass(errors.TransformError, errors.BuildError)
+        assert issubclass(errors.LinkError, errors.BuildError)
+
+    def test_hardening_violations_grouped(self):
+        for cls in (errors.KasanViolation, errors.UbsanViolation,
+                    errors.CfiViolation, errors.StackSmashDetected):
+            assert issubclass(cls, errors.HardeningViolation)
+
+    def test_catching_the_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.KasanViolation("oob")
+
+
+class TestProtectionFault:
+    def test_crash_report_fields(self):
+        fault = errors.ProtectionFault(
+            "rx_buf", accessor=0, owner=2, access="write",
+            library="redis", owner_library="lwip",
+        )
+        assert fault.symbol == "rx_buf"
+        assert fault.accessor == 0
+        assert fault.owner == 2
+        assert fault.access == "write"
+        assert fault.library == "redis"
+        assert fault.owner_library == "lwip"
+
+    def test_message_names_the_symbol_and_parties(self):
+        fault = errors.ProtectionFault("secret", 1, 2, access="read",
+                                       library="nginx")
+        message = str(fault)
+        assert "secret" in message
+        assert "comp1" in message and "comp2" in message
+        assert "nginx" in message
+
+    def test_defaults(self):
+        fault = errors.ProtectionFault("x", 0, 1)
+        assert fault.access == "read"
+        assert fault.library is None
+        assert fault.owner_library is None
+
+
+class TestFsError:
+    def test_carries_errno(self):
+        err = errors.FsError(2, "no such file")
+        assert err.errno == 2
+        assert "errno 2" in str(err)
+
+
+class TestEntryPointViolation:
+    def test_names_function_and_compartment(self):
+        err = errors.EntryPointViolation("do_evil", "comp2")
+        assert err.function == "do_evil"
+        assert err.compartment == "comp2"
+        assert "do_evil" in str(err)

@@ -1,0 +1,200 @@
+"""Filesystem tests: ramfs driver + vfscore layer."""
+
+import pytest
+
+from repro.errors import FsError
+from repro.hw.costs import CostModel
+from repro.kernel.fs import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    RamFs,
+    Vfs,
+)
+from repro.kernel.fs.vfs import SEEK_CUR, SEEK_END
+
+
+@pytest.fixture
+def vfs():
+    costs = CostModel.xeon_4114()
+    return Vfs(RamFs(costs), costs)
+
+
+class TestCreateOpen:
+    def test_open_missing_fails(self, vfs):
+        with pytest.raises(FsError) as exc:
+            vfs.open("/nope")
+        assert exc.value.errno == 2  # ENOENT
+
+    def test_create_and_reopen(self, vfs):
+        fd = vfs.open("/a.txt", O_WRONLY | O_CREAT)
+        vfs.close(fd)
+        fd2 = vfs.open("/a.txt")
+        vfs.close(fd2)
+
+    def test_exists(self, vfs):
+        assert not vfs.exists("/x")
+        vfs.close(vfs.open("/x", O_CREAT))
+        assert vfs.exists("/x")
+
+    def test_fd_numbers_unique(self, vfs):
+        fds = [vfs.open("/f%d" % i, O_CREAT) for i in range(5)]
+        assert len(set(fds)) == 5
+
+    def test_close_invalid_fd(self, vfs):
+        with pytest.raises(FsError):
+            vfs.close(99)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, vfs):
+        fd = vfs.open("/data", O_RDWR | O_CREAT)
+        assert vfs.write(fd, b"hello world") == 11
+        vfs.lseek(fd, 0)
+        assert vfs.read(fd, 100) == b"hello world"
+
+    def test_position_advances(self, vfs):
+        fd = vfs.open("/data", O_RDWR | O_CREAT)
+        vfs.write(fd, b"abcdef")
+        vfs.lseek(fd, 0)
+        assert vfs.read(fd, 3) == b"abc"
+        assert vfs.read(fd, 3) == b"def"
+
+    def test_write_on_readonly_fd(self, vfs):
+        vfs.close(vfs.open("/r", O_CREAT))
+        fd = vfs.open("/r", O_RDONLY)
+        with pytest.raises(FsError):
+            vfs.write(fd, b"x")
+
+    def test_read_on_writeonly_fd(self, vfs):
+        fd = vfs.open("/w", O_WRONLY | O_CREAT)
+        with pytest.raises(FsError):
+            vfs.read(fd, 1)
+
+    def test_sparse_write_zero_fills(self, vfs):
+        fd = vfs.open("/sparse", O_RDWR | O_CREAT)
+        vfs.lseek(fd, 10)
+        vfs.write(fd, b"end")
+        vfs.lseek(fd, 0)
+        assert vfs.read(fd, 13) == b"\x00" * 10 + b"end"
+
+    def test_trunc_flag_clears(self, vfs):
+        fd = vfs.open("/t", O_WRONLY | O_CREAT)
+        vfs.write(fd, b"old-content")
+        vfs.close(fd)
+        fd = vfs.open("/t", O_WRONLY | O_TRUNC)
+        vfs.close(fd)
+        assert vfs.stat("/t")["size"] == 0
+
+    def test_append_mode(self, vfs):
+        fd = vfs.open("/log", O_WRONLY | O_CREAT)
+        vfs.write(fd, b"one")
+        vfs.close(fd)
+        fd = vfs.open("/log", O_WRONLY | O_APPEND)
+        vfs.write(fd, b"two")
+        vfs.close(fd)
+        fd = vfs.open("/log")
+        assert vfs.read(fd, 10) == b"onetwo"
+
+
+class TestSeek:
+    def test_seek_end(self, vfs):
+        fd = vfs.open("/s", O_RDWR | O_CREAT)
+        vfs.write(fd, b"12345")
+        assert vfs.lseek(fd, -2, SEEK_END) == 3
+        assert vfs.read(fd, 2) == b"45"
+
+    def test_seek_cur(self, vfs):
+        fd = vfs.open("/s", O_RDWR | O_CREAT)
+        vfs.write(fd, b"12345")
+        vfs.lseek(fd, 0)
+        vfs.lseek(fd, 2, SEEK_CUR)
+        assert vfs.read(fd, 1) == b"3"
+
+    def test_negative_seek_rejected(self, vfs):
+        fd = vfs.open("/s", O_CREAT)
+        with pytest.raises(FsError):
+            vfs.lseek(fd, -1)
+
+
+class TestDirectories:
+    def test_mkdir_and_nest(self, vfs):
+        vfs.mkdir("/dir")
+        vfs.close(vfs.open("/dir/file", O_CREAT))
+        assert vfs.listdir("/dir") == ["file"]
+
+    def test_listdir_root(self, vfs):
+        vfs.close(vfs.open("/a", O_CREAT))
+        vfs.mkdir("/b")
+        assert vfs.listdir("/") == ["a", "b"]
+
+    def test_unlink_nonempty_dir_fails(self, vfs):
+        vfs.mkdir("/d")
+        vfs.close(vfs.open("/d/f", O_CREAT))
+        with pytest.raises(FsError):
+            vfs.unlink("/d")
+
+    def test_open_write_on_directory_fails(self, vfs):
+        vfs.mkdir("/d")
+        with pytest.raises(FsError):
+            vfs.open("/d", O_WRONLY)
+
+    def test_path_through_file_fails(self, vfs):
+        vfs.close(vfs.open("/plain", O_CREAT))
+        with pytest.raises(FsError):
+            vfs.open("/plain/child", O_CREAT)
+
+
+class TestUnlinkStat:
+    def test_unlink_removes(self, vfs):
+        vfs.close(vfs.open("/gone", O_CREAT))
+        vfs.unlink("/gone")
+        assert not vfs.exists("/gone")
+
+    def test_stat_fields(self, vfs):
+        fd = vfs.open("/meta", O_WRONLY | O_CREAT)
+        vfs.write(fd, b"xyz")
+        info = vfs.stat("/meta")
+        assert info["size"] == 3
+        assert not info["is_dir"]
+        assert info["nlink"] == 1
+
+    def test_fsync_counts(self, vfs):
+        fd = vfs.open("/j", O_WRONLY | O_CREAT)
+        vfs.fsync(fd)
+        vfs.fsync(fd)
+        assert vfs.syncs == 2
+
+
+class TestJournalPattern:
+    """The sequence SQLite's rollback journal performs."""
+
+    def test_journal_lifecycle(self, vfs):
+        fd = vfs.open("/db-journal", O_WRONLY | O_CREAT)
+        vfs.write(fd, b"backup-page")
+        vfs.fsync(fd)
+        vfs.close(fd)
+        fd = vfs.open("/db", O_WRONLY | O_CREAT)
+        vfs.write(fd, b"new-page")
+        vfs.fsync(fd)
+        vfs.close(fd)
+        vfs.unlink("/db-journal")
+        assert vfs.exists("/db")
+        assert not vfs.exists("/db-journal")
+
+    def test_operations_charge_cycles_under_context(self, vfs):
+        from repro.hw.clock import Clock
+        from repro.hw.cpu import ExecutionContext, use_context
+        from repro.hw.memory import PhysicalMemory
+        from repro.hw.mmu import MMU
+
+        costs = CostModel.xeon_4114()
+        clock = Clock()
+        ctx = ExecutionContext(clock, costs, MMU(PhysicalMemory(), costs))
+        with use_context(ctx):
+            fd = vfs.open("/x", O_WRONLY | O_CREAT)
+            vfs.write(fd, b"payload")
+        assert clock.cycles > 0

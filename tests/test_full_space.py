@@ -1,0 +1,80 @@
+"""The full design space and noise-robust exploration."""
+
+import random
+
+import pytest
+
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE
+from repro.bench import Wayfinder
+from repro.explore import explore
+from repro.explore.configspace import generate_fig6_space, generate_full_space
+from repro.explore.formal import certify
+from repro.explore.poset import ConfigPoset
+from repro.hw.costs import DEFAULT_COSTS
+
+
+def measure(layout):
+    return evaluate_profile(
+        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+    )["requests_per_second"]
+
+
+class TestFullSpace:
+    def test_224_configurations(self):
+        """14 partitions of 4 components into <= 3 groups, x 2^4."""
+        layouts = generate_full_space()
+        assert len(layouts) == 224
+
+    def test_names_unique(self):
+        layouts = generate_full_space()
+        names = [layout.name for layout in layouts]
+        assert len(set(names)) == len(names)
+
+    def test_fig6_space_is_a_subset_structurally(self):
+        """Every Fig. 6 partition appears in the full space."""
+        full_partitions = {
+            tuple(sorted(tuple(sorted(g)) for g in layout.partition))
+            for layout in generate_full_space()
+        }
+        for layout in generate_fig6_space():
+            key = tuple(sorted(tuple(sorted(g)) for g in layout.partition))
+            assert key in full_partitions
+
+    def test_poset_over_full_space(self):
+        poset = ConfigPoset(generate_full_space())
+        assert len(poset) == 224
+        assert poset.check_invariants()
+
+    def test_exploration_scales_and_certifies(self):
+        layouts = generate_full_space()
+        result = explore(layouts, measure, budget=500_000)
+        assert result.evaluations < len(layouts) / 2  # pruning bites
+        assert certify(result).valid
+
+    def test_full_space_finds_at_least_as_safe_answers(self):
+        """A superset space can only improve (or match) the answer."""
+        fig6 = explore(generate_fig6_space(), measure, budget=500_000)
+        full = explore(generate_full_space(), measure, budget=500_000)
+        assert len(full.passing) >= len(fig6.passing)
+
+
+class TestNoisyExploration:
+    def test_noisy_measurements_still_certify(self):
+        """With Wayfinder's repetition+median in front of a noisy
+        measurement, the explorer's answer remains certifiable."""
+        rng = random.Random(7)
+        wayfinder = Wayfinder()
+
+        def noisy_measure(layout):
+            sweep = wayfinder.sweep([layout], measure, repetitions=5,
+                                    noise=rng)
+            return sweep.value_of(layout.name)
+
+        result = explore(generate_fig6_space(), noisy_measure,
+                         budget=500_000)
+        assert certify(result).valid
+        # The answer matches the noise-free one up to budget-line churn.
+        clean = explore(generate_fig6_space(), measure, budget=500_000)
+        overlap = set(result.recommended) & set(clean.recommended)
+        assert overlap  # the core of the recommendation set is stable

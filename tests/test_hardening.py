@@ -1,0 +1,164 @@
+"""Software hardening: cost multipliers and functional detection."""
+
+import pytest
+
+from repro.core.hardening import (
+    FIG6_HARDENING,
+    CfiPolicy,
+    Hardening,
+    KasanShadow,
+    StackCanary,
+    UbsanChecker,
+    parse_hardening,
+    work_multiplier,
+)
+from repro.errors import (
+    CfiViolation,
+    ConfigError,
+    KasanViolation,
+    StackSmashDetected,
+    UbsanViolation,
+)
+
+
+class TestParsing:
+    def test_aliases(self):
+        parsed = parse_hardening(["asan", "sp", "cfi", "ubsan"])
+        assert parsed == frozenset(Hardening)
+
+    def test_enum_passthrough(self):
+        assert parse_hardening([Hardening.CFI]) == frozenset({Hardening.CFI})
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_hardening(["rust"])
+
+    def test_fig6_block(self):
+        assert Hardening.KASAN in FIG6_HARDENING
+        assert Hardening.CFI not in FIG6_HARDENING  # paper: sp+UBSan+KASan
+
+
+class TestMultipliers:
+    def test_no_hardening_is_free(self):
+        assert work_multiplier("uksched", frozenset()) == 1.0
+
+    def test_stacking_is_additive(self):
+        kasan = work_multiplier("lwip", frozenset({Hardening.KASAN}))
+        both = work_multiplier(
+            "lwip", frozenset({Hardening.KASAN, Hardening.UBSAN}),
+        )
+        assert both > kasan
+
+    def test_scheduler_most_sensitive(self):
+        block = FIG6_HARDENING
+        assert work_multiplier("uksched", block) > \
+            work_multiplier("lwip", block)
+
+    def test_unknown_library_gets_default_sensitivity(self):
+        assert work_multiplier("someapp", FIG6_HARDENING) == \
+            pytest.approx(2.2)
+
+    def test_paper_anchor_scheduler(self):
+        """Redis: hardening the scheduler costs 24 % — multiplier ~2.6."""
+        assert work_multiplier("uksched", FIG6_HARDENING) == \
+            pytest.approx(2.6, rel=0.02)
+
+
+class TestKasan:
+    def make(self):
+        from repro.hw.memory import PhysicalMemory
+        from repro.kernel.allocators import TlsfAllocator
+
+        memory = PhysicalMemory()
+        heap = TlsfAllocator(memory.add_region("h", 1 << 16))
+        return heap, KasanShadow()
+
+    def test_valid_access(self):
+        heap, shadow = self.make()
+        a = heap.malloc(64)
+        shadow.on_alloc(a)
+        shadow.check_access(a, 0)
+        shadow.check_access(a, 63)
+
+    def test_out_of_bounds_detected(self):
+        heap, shadow = self.make()
+        a = heap.malloc(64)
+        shadow.on_alloc(a)
+        with pytest.raises(KasanViolation, match="out-of-bounds"):
+            shadow.check_access(a, a.size)  # one past the redzone edge
+
+    def test_use_after_free_detected(self):
+        heap, shadow = self.make()
+        a = heap.malloc(64)
+        shadow.on_alloc(a)
+        shadow.on_free(a)
+        with pytest.raises(KasanViolation, match="use-after-free"):
+            shadow.check_access(a, 0)
+
+    def test_double_free_detected(self):
+        heap, shadow = self.make()
+        a = heap.malloc(64)
+        shadow.on_alloc(a)
+        shadow.on_free(a)
+        with pytest.raises(KasanViolation, match="free"):
+            shadow.on_free(a)
+
+    def test_negative_offset(self):
+        heap, shadow = self.make()
+        a = heap.malloc(64)
+        shadow.on_alloc(a)
+        with pytest.raises(KasanViolation):
+            shadow.check_access(a, -1)
+
+
+class TestUbsan:
+    def test_checked_add_ok(self):
+        assert UbsanChecker().checked_add(1, 2) == 3
+
+    def test_signed_overflow(self):
+        ubsan = UbsanChecker()
+        with pytest.raises(UbsanViolation):
+            ubsan.checked_add(2**31 - 1, 1)
+
+    def test_mul_overflow(self):
+        with pytest.raises(UbsanViolation):
+            UbsanChecker().checked_mul(1 << 20, 1 << 20)
+
+    def test_bad_shift(self):
+        with pytest.raises(UbsanViolation):
+            UbsanChecker().checked_shift(1, 40)
+
+    def test_valid_shift(self):
+        assert UbsanChecker().checked_shift(1, 4) == 16
+
+
+class TestCfi:
+    def test_registered_target_callable(self):
+        cfi = CfiPolicy()
+
+        @cfi.register
+        def handler(x):
+            return x + 1
+
+        assert cfi.indirect_call(handler, 1) == 2
+
+    def test_unregistered_target_rejected(self):
+        cfi = CfiPolicy()
+
+        def rogue():
+            return "pwned"
+
+        with pytest.raises(CfiViolation):
+            cfi.indirect_call(rogue)
+
+
+class TestStackProtector:
+    def test_intact_canary_passes(self):
+        canary = StackCanary()
+        canary.verify()
+
+    def test_smashed_canary_detected(self):
+        canary = StackCanary()
+        canary.smash(0x41414141)
+        with pytest.raises(StackSmashDetected):
+            canary.verify()

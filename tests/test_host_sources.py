@@ -1,0 +1,140 @@
+"""Host-endpoint behaviour and source-IR odds and ends."""
+
+import pytest
+
+from repro.apps.host import HostEndpoint
+from repro.core.toolchain.sources import (
+    Call,
+    Compute,
+    FunctionSource,
+    LibrarySource,
+    SourceTree,
+    StackVar,
+    default_kernel_sources,
+)
+from repro.errors import ConfigError, NetworkError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext, use_context
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.kernel.net import LinkedDevices, NetworkStack
+
+
+class TestHostEndpoint:
+    def setup_method(self):
+        self.costs = CostModel.xeon_4114()
+        self.clock = Clock()
+        self.link = LinkedDevices(self.costs)
+        self.server = NetworkStack(self.link.a, "10.0.0.2", self.costs,
+                                   self.clock)
+        self.host = HostEndpoint(self.link.b, "10.0.0.1", self.costs,
+                                 self.clock)
+
+    def test_host_work_is_free(self):
+        """Client-side operations never charge the measured clock."""
+        ctx = ExecutionContext(self.clock, self.costs,
+                               MMU(PhysicalMemory(), self.costs))
+        with use_context(ctx):
+            before = self.clock.cycles
+            sock = self.host.socket()
+            self.host.connect_start(sock, "10.0.0.2", 80)
+            self.host.pump()
+            assert self.clock.cycles == before
+
+    def test_host_ops_not_routed_through_gates(self):
+        ctx = ExecutionContext(self.clock, self.costs,
+                               MMU(PhysicalMemory(), self.costs))
+
+        class ExplodingRouter:
+            def route(self, *a, **k):
+                raise AssertionError("host traffic hit the router")
+
+        ctx.router = ExplodingRouter()
+        with use_context(ctx):
+            self.host.pump()  # must not touch the router
+
+    def test_recv_exactly_collects_chunks(self):
+        self.server.tcp_listen(80)
+        sock = self.host.socket()
+        self.host.connect_start(sock, "10.0.0.2", 80)
+        for _ in range(6):
+            self.server.pump()
+            self.host.pump()
+        listener = self.server._listeners[80]
+        conn = self.server.tcp_accept(listener)
+        self.server.tcp_send(conn, b"abc")
+        self.server.tcp_send(conn, b"defg")
+
+        gen = self.host.recv_exactly(sock, 7)
+        try:
+            while True:
+                next(gen)
+                self.server.pump()
+                self.host.pump()
+        except StopIteration as stop:
+            assert stop.value == b"abcdefg"
+
+    def test_recv_stall_detected(self):
+        self.server.tcp_listen(80)
+        sock = self.host.socket()
+        self.host.connect_start(sock, "10.0.0.2", 80)
+        for _ in range(6):
+            self.server.pump()
+            self.host.pump()
+        gen = self.host.recv_exactly(sock, 10, max_polls=3)
+        with pytest.raises(NetworkError, match="stalled"):
+            while True:
+                next(gen)
+
+
+class TestSourceIr:
+    def test_function_in_wrong_library_rejected(self):
+        lib = LibrarySource("a")
+        with pytest.raises(ConfigError):
+            lib.add_function(FunctionSource("f", "b", []))
+
+    def test_duplicate_function_rejected(self):
+        lib = LibrarySource("a")
+        lib.add_function(FunctionSource("f", "a", []))
+        with pytest.raises(ConfigError):
+            lib.add_function(FunctionSource("f", "a", []))
+
+    def test_duplicate_library_rejected(self):
+        tree = SourceTree([LibrarySource("a")])
+        with pytest.raises(ConfigError):
+            tree.add_library(LibrarySource("a"))
+
+    def test_resolve_missing(self):
+        tree = default_kernel_sources()
+        with pytest.raises(ConfigError):
+            tree.resolve("lwip", "no_such_function")
+        with pytest.raises(ConfigError):
+            tree.library("no_such_lib")
+
+    def test_copy_is_deep_for_bodies(self):
+        tree = default_kernel_sources()
+        clone = tree.copy()
+        clone.resolve("newlib", "recv").body.append(Compute(1))
+        assert len(tree.resolve("newlib", "recv").body) != \
+            len(clone.resolve("newlib", "recv").body)
+
+    def test_source_lines_accounting(self):
+        func = FunctionSource("f", "a", [Compute(1), Call("a", "g"),
+                                         StackVar("v")])
+        assert func.source_lines() == 2 + 3
+
+    def test_call_target_format(self):
+        assert Call("lwip", "tcp_recv").target == "lwip:tcp_recv"
+
+    def test_default_sources_model_real_boundaries(self):
+        tree = default_kernel_sources()
+        # The IR encodes the same boundary facts the substrate has:
+        recv = tree.resolve("newlib", "recv")
+        callees = {s.library for s in recv.body if isinstance(s, Call)}
+        assert "lwip" in callees and "uksched" in callees
+        # ... and lwip never calls uksched (isolation-for-free).
+        for func in tree.library("lwip").functions.values():
+            for stmt in func.body:
+                if isinstance(stmt, Call):
+                    assert stmt.library != "uksched"

@@ -1,0 +1,143 @@
+"""End-to-end integration scenarios crossing every layer."""
+
+import pytest
+
+from repro import (
+    CompartmentSpec,
+    FlexOSInstance,
+    Machine,
+    ProtectionFault,
+    SafetyConfig,
+    TcbReport,
+    build_image,
+    loads_config,
+)
+from repro.apps.base import evaluate_profile
+from repro.apps.redis import REDIS_GET_PROFILE, RedisApp, redis_benchmark_client
+from repro.apps.host import HostEndpoint
+from repro.explore import explore, generate_fig6_space
+from repro.hw.costs import CostModel, DEFAULT_COSTS
+from repro.kernel.net.device import LinkedDevices
+
+
+class TestConfigFileToRunningSystem:
+    """The paper's workflow: write a config file, build, boot, run."""
+
+    CONFIG = """\
+compartments:
+  comp1:
+    mechanism: intel-mpk
+    default: True
+  comp2:
+    mechanism: intel-mpk
+    hardening: [sp, ubsan, asan]
+libraries:
+  - lwip: comp2
+"""
+
+    def test_full_pipeline(self):
+        config = loads_config(self.CONFIG)
+        image = build_image(config)
+        assert image.n_compartments == 2
+        assert image.transform_report.gates_inserted > 0
+
+        costs = CostModel.xeon_4114()
+        machine = Machine(costs)
+        link = LinkedDevices(costs)
+        instance = FlexOSInstance(image, machine=machine,
+                                  net_device=link.a).boot()
+        host = HostEndpoint(link.b, "10.0.0.1", costs, machine.clock)
+
+        with instance.run():
+            server = RedisApp.make_server(instance)
+            sock = instance.libc.socket(instance.net).bind(6379).listen()
+            instance.sched.create_thread(
+                "redis", lambda: server.serve(sock, instance.libc, 10),
+            )
+            client = instance.sched.create_thread(
+                "bench",
+                lambda: redis_benchmark_client(host, "10.0.0.2", 6379, 10),
+            )
+            instance.sched.run()
+
+        assert server.commands == 10
+        assert client.result == 9
+        assert instance.gate_crossings() > 0
+        # Hardened lwip work was charged at its multiplier.
+        assert instance.ctx.work_by_library.get("lwip", 0) > 0
+
+    def test_tcb_report_for_the_same_config(self):
+        report = TcbReport(loads_config(self.CONFIG))
+        assert report.unique_loc <= 3200
+
+
+class TestMeltdownScenario:
+    """Use case: "Quickly React to Hardware Protections Breaking Down" —
+    switching mechanism is a rebuild, not a redesign."""
+
+    def build_instance(self, mechanism):
+        specs = [
+            CompartmentSpec("comp1", mechanism=mechanism, default=True),
+            CompartmentSpec("comp2", mechanism=mechanism),
+        ]
+        config = SafetyConfig(specs, {"lwip": "comp2"})
+        return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+    def test_same_workload_both_mechanisms(self):
+        for mechanism in ("intel-mpk", "vm-ept"):
+            instance = self.build_instance(mechanism)
+            secret = instance.private_object("lwip", "pcb_table", value=1)
+            with instance.run():
+                with pytest.raises(ProtectionFault):
+                    secret.read(instance.ctx)
+
+    def test_broken_mpk_leaks_ept_still_holds(self):
+        """Model a PKRU bypass: MPK stops enforcing, EPT (different
+        hardware path) still isolates."""
+        mpk = self.build_instance("intel-mpk")
+        mpk.mmu.enforcing = False  # the hardware vulnerability
+        leaked = mpk.private_object("lwip", "pcb_table", value="secret")
+        with mpk.run():
+            assert leaked.read(mpk.ctx) == "secret"  # leak!
+
+        ept = self.build_instance("vm-ept")
+        protected = ept.private_object("lwip", "pcb_table", value="secret")
+        with ept.run():
+            with pytest.raises(ProtectionFault):
+                protected.read(ept.ctx)
+
+
+class TestExplorationEndToEnd:
+    def test_redis_500k_budget_recommends_small_safe_set(self):
+        """Section 6.2: the 80-config space prunes to a handful of
+        safest configurations at >= 500K req/s."""
+        layouts = generate_fig6_space()
+
+        def measure(layout):
+            return evaluate_profile(
+                REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+            )["requests_per_second"]
+
+        result = explore(layouts, measure, budget=500_000)
+        assert 1 <= len(result.recommended) <= 12
+        assert result.evaluations < 80
+        # Every recommended config really holds 500K req/s.
+        for name in result.recommended:
+            assert result.measurements[name] >= 500_000
+
+    def test_as_secure_as_you_can_afford(self):
+        """Use case: lowering the budget never removes safety — the
+        recommended set under a lower budget dominates (is at least as
+        safe as) some member of the higher-budget set."""
+        layouts = generate_fig6_space()
+
+        def measure(layout):
+            return evaluate_profile(
+                REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
+            )["requests_per_second"]
+
+        tight = explore(layouts, measure, budget=800_000)
+        loose = explore(layouts, measure, budget=400_000)
+        assert len(loose.passing) > len(tight.passing)
+        # Everything passing the tight budget also passes the loose one.
+        assert tight.passing <= loose.passing

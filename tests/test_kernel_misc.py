@@ -1,0 +1,189 @@
+"""Smaller kernel pieces: libc, interrupts, time, boot plan, memmgr."""
+
+import pytest
+
+from repro.errors import ConfigError, SchedulerError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.hw.cpu import ExecutionContext, host_side, use_context
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.kernel.boot import BootPlan
+from repro.kernel.irq import InterruptController
+from repro.kernel.lib import get_library, register_library, work
+from repro.kernel.memmgr import STACK_SIZE, MemoryManager
+from repro.kernel.uktime import BOOT_EPOCH_NS, TimeSubsystem
+
+
+@pytest.fixture
+def costs():
+    return CostModel.xeon_4114()
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestLibraryRegistry:
+    def test_known_libraries(self):
+        assert get_library("lwip").role == "kernel"
+        assert get_library("ukboot").in_tcb
+        assert not get_library("newlib").in_tcb
+
+    def test_unknown_library(self):
+        with pytest.raises(ConfigError):
+            get_library("not-a-lib")
+
+    def test_register_is_idempotent(self):
+        a = register_library("lwip")
+        b = register_library("lwip")
+        assert a is b
+
+    def test_bad_role(self):
+        with pytest.raises(ConfigError):
+            register_library("weird", role="demigod")
+
+    def test_work_is_noop_without_context(self):
+        work(1_000_000)  # must not raise
+
+    def test_work_charges_under_context(self, clock, costs):
+        ctx = ExecutionContext(clock, costs, MMU(PhysicalMemory(), costs))
+        with use_context(ctx):
+            work(500)
+        assert clock.cycles == 500
+
+    def test_host_side_suppresses_charging(self, clock, costs):
+        ctx = ExecutionContext(clock, costs, MMU(PhysicalMemory(), costs))
+        with use_context(ctx):
+            with host_side():
+                work(500)
+        assert clock.cycles == 0
+
+
+class TestTime:
+    def test_monotonic_tracks_clock(self, clock, costs):
+        time = TimeSubsystem(clock, costs)
+        first = time.monotonic_ns()
+        clock.charge(2_200)  # 1 us at 2.2 GHz
+        assert time.monotonic_ns() - first >= 1_000
+
+    def test_wall_clock_epoch(self, clock, costs):
+        time = TimeSubsystem(clock, costs)
+        assert time.wall_clock_ns() >= BOOT_EPOCH_NS
+
+    def test_reads_counted(self, clock, costs):
+        time = TimeSubsystem(clock, costs)
+        time.monotonic_ns()
+        time.uptime_seconds()
+        assert time.reads == 2
+
+
+class TestInterrupts:
+    def test_handler_dispatch(self, clock, costs):
+        irq = InterruptController(clock, costs)
+        seen = []
+        irq.register(InterruptController.IRQ_NET, seen.append)
+        irq.raise_irq(InterruptController.IRQ_NET, payload="frame")
+        assert seen == ["frame"]
+        assert irq.delivered == 1
+
+    def test_unhandled_line(self, clock, costs):
+        irq = InterruptController(clock, costs)
+        with pytest.raises(SchedulerError):
+            irq.raise_irq(7)
+
+    def test_multiple_handlers_all_fire(self, clock, costs):
+        irq = InterruptController(clock, costs)
+        seen = []
+        irq.register(0, lambda p: seen.append("a"))
+        irq.register(0, lambda p: seen.append("b"))
+        irq.raise_irq(0)
+        assert seen == ["a", "b"]
+
+
+class TestBootPlan:
+    def test_ordered_execution(self):
+        log = []
+        plan = BootPlan()
+        plan.add("one", lambda: log.append(1), tcb=True)
+        plan.add("two", lambda: log.append(2))
+        assert plan.run() == ["one", "two"]
+        assert log == [1, 2]
+
+    def test_tcb_after_non_tcb_rejected(self):
+        plan = BootPlan()
+        plan.add("app-init", lambda: None)
+        plan.add("protection", lambda: None, tcb=True)
+        with pytest.raises(ConfigError, match="TCB"):
+            plan.run()
+
+
+class TestMemoryManager:
+    def test_heap_per_compartment(self, costs):
+        mm = MemoryManager(PhysicalMemory())
+        mm.create_heap(0, pkey=0)
+        mm.create_heap(1, pkey=2)
+        assert mm.heap_of(0) is not mm.heap_of(1)
+        assert mm.compartments() == [0, 1]
+
+    def test_duplicate_heap_rejected(self):
+        mm = MemoryManager(PhysicalMemory())
+        mm.create_heap(0)
+        with pytest.raises(ConfigError):
+            mm.create_heap(0)
+
+    def test_shared_heap_required_before_use(self):
+        mm = MemoryManager(PhysicalMemory())
+        with pytest.raises(ConfigError):
+            _ = mm.shared_heap
+
+    def test_stack_is_8_pages(self):
+        """FlexOS uses small stacks: 8 pages (Section 6.5)."""
+        mm = MemoryManager(PhysicalMemory())
+        stack, dss = mm.create_stack("t", 0)
+        assert stack.size == STACK_SIZE == 8 * 4096
+        assert dss is None
+
+    def test_dss_doubles_the_stack(self):
+        mm = MemoryManager(PhysicalMemory())
+        mm.create_shared_heap(pkey=15)
+        stack, dss = mm.create_stack("t", 0, with_dss=True)
+        assert dss.size == stack.size
+        assert dss.pkey == 15  # shared domain
+
+    def test_allocator_kind_selectable(self):
+        from repro.kernel.allocators import LeaAllocator
+
+        mm = MemoryManager(PhysicalMemory(), allocator_kind="lea")
+        assert isinstance(mm.create_heap(0), LeaAllocator)
+
+
+class TestLibc:
+    def test_memcpy_charges_and_copies(self, clock, costs):
+        from repro.kernel.libc import Libc
+
+        libc = Libc(costs)
+        ctx = ExecutionContext(clock, costs, MMU(PhysicalMemory(), costs))
+        with use_context(ctx):
+            out = libc.memcpy(b"abc" * 100)
+        assert out == b"abc" * 100
+        assert clock.cycles > 0
+
+    def test_snprintf(self, costs):
+        from repro.kernel.libc import Libc
+
+        libc = Libc(costs)
+        assert libc.snprintf("x=%d", 7) == "x=7"
+        assert libc.snprintf("plain") == "plain"
+
+    def test_malloc_routes_to_compartment_heap(self, costs):
+        from repro.kernel.libc import Libc
+
+        mm = MemoryManager(PhysicalMemory())
+        heap = mm.create_heap(0)
+        libc = Libc(costs, memmgr=mm, default_compartment=0)
+        allocation = libc.malloc(64)
+        assert heap.owns(allocation)
+        libc.free(allocation)
+        assert heap.live_allocations == 0

@@ -1,0 +1,111 @@
+"""libc blocking-call generators: recv/accept/connect poll-and-yield."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.hw.costs import CostModel
+from repro.kernel.libc import Libc
+from repro.kernel.net import LinkedDevices, NetworkStack, Socket
+from repro.kernel.sched import Yield
+from repro.hw.clock import Clock
+
+
+@pytest.fixture
+def world():
+    costs = CostModel.xeon_4114()
+    clock = Clock()
+    link = LinkedDevices(costs)
+    server_stack = NetworkStack(link.a, "10.0.0.2", costs, clock)
+    client_stack = NetworkStack(link.b, "10.0.0.1", costs, clock)
+    libc = Libc(costs)
+    return libc, server_stack, client_stack
+
+
+def drive(generator, pump_stacks, max_steps=200):
+    """Drive a blocking-call generator, pumping stacks between yields."""
+    steps = 0
+    try:
+        while True:
+            op = next(generator)
+            assert isinstance(op, Yield)
+            for stack in pump_stacks:
+                stack.pump()
+            steps += 1
+            if steps > max_steps:
+                raise AssertionError("generator never completed")
+    except StopIteration as stop:
+        return stop.value, steps
+
+
+class TestBlockingCalls:
+    def test_accept_blocking_waits_for_connection(self, world):
+        libc, server_stack, client_stack = world
+        listening = Socket(server_stack).bind(80).listen()
+        gen = libc.accept_blocking(listening)
+        # Nothing connects yet: the generator yields at least once.
+        first = next(gen)
+        assert isinstance(first, Yield)
+        # Now a client arrives.
+        Socket(client_stack).connect_start("10.0.0.2", 80)
+        accepted, _ = drive(gen, (server_stack, client_stack))
+        assert accepted.conn is not None
+
+    def test_connect_blocking_completes_handshake(self, world):
+        libc, server_stack, client_stack = world
+        Socket(server_stack).bind(80).listen()
+        sock = Socket(client_stack)
+        gen = libc.connect_blocking(sock, "10.0.0.2", 80)
+        connected, _ = drive(gen, (server_stack, client_stack))
+        assert connected.connected
+
+    def test_recv_blocking_returns_data(self, world):
+        libc, server_stack, client_stack = world
+        listening = Socket(server_stack).bind(80).listen()
+        client = Socket(client_stack)
+        drive(libc.connect_blocking(client, "10.0.0.2", 80),
+              (server_stack, client_stack))
+        accepted, _ = drive(libc.accept_blocking(listening),
+                            (server_stack, client_stack))
+        client.send(b"ping")
+        data, _ = drive(libc.recv_blocking(accepted, 100),
+                        (server_stack, client_stack))
+        assert data == b"ping"
+
+    def test_recv_blocking_returns_empty_on_close(self, world):
+        libc, server_stack, client_stack = world
+        listening = Socket(server_stack).bind(80).listen()
+        client = Socket(client_stack)
+        drive(libc.connect_blocking(client, "10.0.0.2", 80),
+              (server_stack, client_stack))
+        accepted, _ = drive(libc.accept_blocking(listening),
+                            (server_stack, client_stack))
+        client.close()
+        data, _ = drive(libc.recv_blocking(accepted, 100),
+                        (server_stack, client_stack))
+        assert data == b""
+
+    def test_recv_blocking_stall_budget(self, world):
+        libc, server_stack, client_stack = world
+        listening = Socket(server_stack).bind(80).listen()
+        client = Socket(client_stack)
+        drive(libc.connect_blocking(client, "10.0.0.2", 80),
+              (server_stack, client_stack))
+        accepted, _ = drive(libc.accept_blocking(listening),
+                            (server_stack, client_stack))
+        gen = libc.recv_blocking(accepted, 100, max_polls=5)
+        with pytest.raises(NetworkError, match="stalled"):
+            drive(gen, (server_stack, client_stack))
+
+    def test_accept_on_non_listening_socket(self, world):
+        libc, server_stack, _ = world
+        sock = Socket(server_stack)
+        gen = libc.accept_blocking(sock)
+        with pytest.raises(NetworkError):
+            next(gen)
+
+    def test_connect_stall_budget(self, world):
+        libc, _, client_stack = world
+        sock = Socket(client_stack)
+        gen = libc.connect_blocking(sock, "10.0.0.9", 80, max_polls=4)
+        with pytest.raises(NetworkError, match="stalled"):
+            drive(gen, (client_stack,))

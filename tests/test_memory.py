@@ -1,0 +1,203 @@
+"""Memory model tests: regions, W^X, checked objects and buffers."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigError, ProtectionFault
+from repro.hw.costs import CostModel
+from repro.hw.clock import Clock
+from repro.hw.cpu import ExecutionContext
+from repro.hw.memory import (
+    PAGE_SIZE,
+    AccessType,
+    ByteBuffer,
+    MemoryObject,
+    Perm,
+    PhysicalMemory,
+    Region,
+    page_align_up,
+)
+from repro.hw.mmu import MMU
+from repro.hw.mpk import PKRU
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def ctx(memory):
+    costs = CostModel.xeon_4114()
+    return ExecutionContext(Clock(), costs, MMU(memory, costs))
+
+
+class TestAlignment:
+    def test_page_align_up(self):
+        assert page_align_up(1) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    def test_region_must_be_aligned(self):
+        with pytest.raises(ConfigError):
+            Region("bad", 0x1000, 123)
+        with pytest.raises(ConfigError):
+            Region("bad", 0x1001, PAGE_SIZE)
+
+
+class TestWxorX:
+    def test_wx_region_rejected(self):
+        with pytest.raises(ConfigError):
+            Region("wx", 0x1000, PAGE_SIZE, perm=Perm.W | Perm.X)
+
+    def test_rx_region_allowed(self):
+        region = Region("text", 0x1000, PAGE_SIZE, perm=Perm.RX)
+        assert region.perm & Perm.X
+
+
+class TestPhysicalMemory:
+    def test_regions_do_not_overlap(self, memory):
+        a = memory.add_region("a", 100)
+        b = memory.add_region("b", 100)
+        assert a.end <= b.base
+
+    def test_region_at_finds_owner(self, memory):
+        a = memory.add_region("a", PAGE_SIZE)
+        b = memory.add_region("b", PAGE_SIZE)
+        assert memory.region_at(a.base) is a
+        assert memory.region_at(a.base + 10) is a
+        assert memory.region_at(b.base) is b
+
+    def test_region_at_miss(self, memory):
+        memory.add_region("a", PAGE_SIZE)
+        assert memory.region_at(0x1) is None
+
+    def test_exhaustion(self):
+        small = PhysicalMemory(size=2 * PAGE_SIZE)
+        small.add_region("a", PAGE_SIZE)
+        small.add_region("b", PAGE_SIZE)
+        with pytest.raises(AllocationError):
+            small.add_region("c", PAGE_SIZE)
+
+    def test_regions_of_compartment(self, memory):
+        memory.add_region("a", PAGE_SIZE, compartment=1)
+        memory.add_region("b", PAGE_SIZE, compartment=2)
+        memory.add_region("c", PAGE_SIZE, compartment=1)
+        assert len(memory.regions_of(1)) == 2
+
+
+class TestMemoryObject:
+    def test_read_write_same_domain(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=0)
+        obj = MemoryObject("counter", region, value=0)
+        ctx.pkru = PKRU(allowed=(0,))
+        obj.write(ctx, 42)
+        assert obj.read(ctx) == 42
+
+    def test_cross_key_read_faults(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=3, compartment=1)
+        obj = MemoryObject("secret", region, value="s3cret")
+        ctx.pkru = PKRU(allowed=(0,))
+        with pytest.raises(ProtectionFault) as exc:
+            obj.read(ctx)
+        assert exc.value.symbol == "secret"
+        assert exc.value.owner == 1
+
+    def test_fault_names_access_kind(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=3)
+        obj = MemoryObject("x", region)
+        ctx.pkru = PKRU(allowed=(0,))
+        with pytest.raises(ProtectionFault) as exc:
+            obj.write(ctx, 1)
+        assert exc.value.access == "write"
+
+    def test_readonly_key(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=2)
+        obj = MemoryObject("ro", region, value=7)
+        ctx.pkru = PKRU()
+        ctx.pkru.allow(2, write=False)
+        assert obj.read(ctx) == 7
+        with pytest.raises(ProtectionFault):
+            obj.write(ctx, 8)
+
+    def test_peek_is_unchecked(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=5)
+        obj = MemoryObject("dbg", region, value=1)
+        assert obj.peek() == 1
+
+    def test_address_within_region(self, memory):
+        region = memory.add_region("data", PAGE_SIZE)
+        obj = MemoryObject("v", region, offset=128)
+        assert obj.address == region.base + 128
+
+
+class TestByteBuffer:
+    def test_roundtrip(self, memory, ctx):
+        region = memory.add_region("buf", PAGE_SIZE, pkey=0)
+        ctx.pkru = PKRU(allowed=(0,))
+        buf = ByteBuffer("payload", region, 0, 64)
+        buf.write_bytes(ctx, b"hello")
+        assert buf.read_bytes(ctx, 0, 5) == b"hello"
+
+    def test_copy_charges_per_byte(self, memory, ctx):
+        region = memory.add_region("buf", PAGE_SIZE, pkey=0)
+        ctx.pkru = PKRU(allowed=(0,))
+        buf = ByteBuffer("payload", region, 0, 1024)
+        before = ctx.clock.cycles
+        buf.write_bytes(ctx, b"x" * 1024)
+        charged = ctx.clock.cycles - before
+        assert charged == pytest.approx(1024 * ctx.costs.memcpy_per_byte)
+
+    def test_out_of_bounds_write(self, memory, ctx):
+        region = memory.add_region("buf", PAGE_SIZE, pkey=0)
+        ctx.pkru = PKRU(allowed=(0,))
+        buf = ByteBuffer("payload", region, 0, 16)
+        with pytest.raises(AllocationError):
+            buf.write_bytes(ctx, b"y" * 17)
+
+    def test_buffer_cannot_exceed_region(self, memory):
+        region = memory.add_region("buf", PAGE_SIZE)
+        with pytest.raises(AllocationError):
+            ByteBuffer("huge", region, 0, region.size + 1)
+
+    def test_cross_key_buffer_faults(self, memory, ctx):
+        region = memory.add_region("buf", PAGE_SIZE, pkey=4, compartment=2)
+        buf = ByteBuffer("pkt", region, 0, 64)
+        ctx.pkru = PKRU(allowed=(0,))
+        with pytest.raises(ProtectionFault):
+            buf.read_bytes(ctx)
+
+
+class TestMMU:
+    def test_exec_on_data_page_faults(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, perm=Perm.RW)
+        ctx.pkru = PKRU(allowed=(0,))
+        with pytest.raises(ProtectionFault):
+            ctx.mmu.check(ctx, region, AccessType.EXEC)
+
+    def test_exec_on_text_page_allowed(self, memory, ctx):
+        region = memory.add_region("text", PAGE_SIZE, perm=Perm.RX)
+        ctx.pkru = PKRU(allowed=(0,))
+        ctx.mmu.check(ctx, region, AccessType.EXEC)
+
+    def test_enforcing_off_models_broken_hardware(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=9)
+        ctx.pkru = PKRU(allowed=(0,))
+        ctx.mmu.enforcing = False
+        ctx.mmu.check(ctx, region, AccessType.READ)  # silently passes
+
+    def test_checks_counted(self, memory, ctx):
+        region = memory.add_region("data", PAGE_SIZE, pkey=0)
+        ctx.pkru = PKRU(allowed=(0,))
+        before = ctx.mmu.checks
+        ctx.mmu.check(ctx, region, AccessType.READ)
+        assert ctx.mmu.checks == before + 1
+
+    def test_address_space_denies_unmapped(self, memory, ctx):
+        from repro.hw.ept import AddressSpace
+
+        region = memory.add_region("vm-private", PAGE_SIZE)
+        ctx.address_space = AddressSpace("other-vm")
+        with pytest.raises(ProtectionFault):
+            ctx.mmu.check(ctx, region, AccessType.READ)
+        ctx.address_space.map(region)
+        ctx.mmu.check(ctx, region, AccessType.READ)

@@ -1,0 +1,77 @@
+"""PKRU register and protection-key allocator tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.mpk import DEFAULT_PKEY, NUM_PKEYS, PKRU, PkeyAllocator
+
+
+class TestPKRU:
+    def test_default_key_allowed_initially(self):
+        pkru = PKRU()
+        assert pkru.can_read(DEFAULT_PKEY)
+        assert pkru.can_write(DEFAULT_PKEY)
+
+    def test_other_keys_denied_initially(self):
+        pkru = PKRU()
+        for key in range(1, NUM_PKEYS):
+            assert not pkru.can_read(key)
+
+    def test_allow_and_deny(self):
+        pkru = PKRU()
+        pkru.allow(5)
+        assert pkru.can_read(5) and pkru.can_write(5)
+        pkru.deny(5)
+        assert not pkru.can_read(5) and not pkru.can_write(5)
+
+    def test_read_only_grant(self):
+        pkru = PKRU()
+        pkru.allow(3, write=False)
+        assert pkru.can_read(3)
+        assert not pkru.can_write(3)
+
+    def test_snapshot_restore(self):
+        pkru = PKRU(allowed=(0, 2))
+        snap = pkru.snapshot()
+        pkru.deny(2)
+        pkru.allow(7)
+        pkru.restore(snap)
+        assert pkru.allowed_keys() == {0, 2}
+
+    def test_out_of_range_key(self):
+        pkru = PKRU()
+        with pytest.raises(ConfigError):
+            pkru.allow(NUM_PKEYS)
+        with pytest.raises(ConfigError):
+            pkru.can_read(-1)
+
+    def test_allowed_keys_set(self):
+        pkru = PKRU(allowed=(0, 1, 9))
+        assert pkru.allowed_keys() == {0, 1, 9}
+
+
+class TestPkeyAllocator:
+    def test_key_zero_reserved(self):
+        alloc = PkeyAllocator()
+        assert alloc.owner_of(0) == "default"
+        assert alloc.allocate("c1") == 1
+
+    def test_sequential_allocation(self):
+        alloc = PkeyAllocator()
+        keys = [alloc.allocate("c%d" % i) for i in range(3)]
+        assert keys == [1, 2, 3]
+
+    def test_exhaustion_at_16_domains(self):
+        """MPK supports at most 16 protection domains (Section 4.1)."""
+        alloc = PkeyAllocator()
+        for i in range(NUM_PKEYS - 1):
+            alloc.allocate("c%d" % i)
+        assert alloc.remaining == 0
+        with pytest.raises(ConfigError):
+            alloc.allocate("one-too-many")
+
+    def test_owner_tracking(self):
+        alloc = PkeyAllocator()
+        key = alloc.allocate("lwip-compartment")
+        assert alloc.owner_of(key) == "lwip-compartment"
+        assert alloc.owner_of(15) is None

@@ -1,0 +1,141 @@
+"""Porting workflow and Table 1 effort tests."""
+
+import pytest
+
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ProtectionFault, ReproError
+from repro.porting import PortingWorkflow, porting_effort_table
+from repro.porting.workflow import PortingReport
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def instance():
+    config = make_config(isolate=("lwip",))
+    return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+def unported_component(instance, n_vars=3):
+    """An 'unported' lwip-ish component: the app touches ``n_vars`` of its
+    private variables.  Returns (workload, shared_store).
+
+    ``share`` moves a faulted symbol into the shared domain, exactly what
+    annotating it as ``__shared`` does at the next build.
+    """
+    private = {
+        "rx_buf%d" % i: instance.private_object("lwip", "rx_buf%d" % i,
+                                                value=i)
+        for i in range(n_vars)
+    }
+    shared = {}
+
+    def workload():
+        with instance.run():
+            for symbol in sorted(private):
+                obj = shared.get(symbol, private[symbol])
+                obj.read(instance.ctx)
+
+    def share(fault):
+        shared[fault.symbol] = instance.shared_object(
+            fault.symbol, value=private[fault.symbol].peek(),
+        )
+
+    return workload, share
+
+
+class TestWorkflow:
+    def test_converges_and_counts_vars(self, instance):
+        workload, share = unported_component(instance, n_vars=3)
+        report = PortingWorkflow(instance).run(workload, share)
+        assert report.clean
+        assert report.shared_vars == 3
+        assert report.iterations == 4  # 3 crashes + 1 clean run
+
+    def test_annotations_recorded_in_registry(self, instance):
+        workload, share = unported_component(instance, n_vars=2)
+        PortingWorkflow(instance).run(workload, share)
+        registry = instance.image.annotations
+        assert registry.is_shared("lwip", "rx_buf0")
+        assert registry.is_shared("lwip", "rx_buf1")
+
+    def test_zero_shared_vars_ports_in_one_run(self, instance):
+        """The uktime case: nothing shared, 10-minute port."""
+        def clean_workload():
+            with instance.run():
+                pass
+
+        report = PortingWorkflow(instance).run(clean_workload,
+                                               lambda fault: None)
+        assert report.clean
+        assert report.shared_vars == 0
+        assert report.iterations == 1
+
+    def test_genuine_violation_stops_porting(self, instance):
+        """The ramfs/vfscore lesson: some faults mean the API must be
+        reworked, not the data shared."""
+        workload, share = unported_component(instance, n_vars=1)
+        with pytest.raises(ReproError, match="genuine violation"):
+            PortingWorkflow(instance).run(
+                workload, share,
+                deny=lambda fault: fault.symbol == "rx_buf0",
+            )
+
+    def test_broken_share_callback_detected(self, instance):
+        workload, _ = unported_component(instance, n_vars=1)
+        with pytest.raises(ReproError, match="did not relocate"):
+            PortingWorkflow(instance).run(workload, lambda fault: None)
+
+    def test_non_convergence_budget(self, instance):
+        def always_faults():
+            raise ProtectionFault("new_sym_%d" % always_faults.n, 0, 1)
+
+        always_faults.n = 0
+
+        def share(fault):
+            always_faults.n += 1
+
+        with pytest.raises(ReproError, match="converge"):
+            PortingWorkflow(instance, max_iterations=5).run(
+                always_faults, share,
+            )
+
+    def test_report_repr(self):
+        report = PortingReport()
+        assert "0 shared vars" in repr(report)
+
+
+class TestTable1:
+    def test_all_eight_rows_present(self):
+        rows = porting_effort_table()
+        names = [row["libs/apps"] for row in rows]
+        assert names == [
+            "TCP/IP stack (LwIP)", "scheduler (uksched)",
+            "filesystem (ramfs, vfscore)", "time subsystem (uktime)",
+            "Redis", "Nginx", "SQLite", "iPerf",
+        ]
+
+    def test_paper_columns_verbatim(self):
+        rows = {row["libs/apps"]: row for row in porting_effort_table()}
+        assert rows["TCP/IP stack (LwIP)"]["patch size"] == "+542 / -275"
+        assert rows["TCP/IP stack (LwIP)"]["shared vars"] == 23
+        assert rows["time subsystem (uktime)"]["shared vars"] == 0
+        assert rows["iPerf"]["patch size"] == "+15 / -14"
+
+    def test_repro_patch_tracks_boundary_density(self):
+        """Our transformation's patch sizes preserve the paper's shape:
+        the network stack port is the biggest kernel patch, the time
+        subsystem the smallest."""
+        rows = {row["libs/apps"]: row for row in porting_effort_table()}
+
+        def added(name):
+            return int(rows[name]["repro patch"].split("/")[0]
+                       .strip().lstrip("+"))
+
+        assert added("TCP/IP stack (LwIP)") >= added("scheduler (uksched)")
+        assert added("time subsystem (uktime)") == 0
+
+    def test_repro_shared_vars_ordering(self):
+        rows = {row["libs/apps"]: row for row in porting_effort_table()}
+        assert rows["time subsystem (uktime)"]["repro shared vars"] == 0
+        assert rows["TCP/IP stack (LwIP)"]["repro shared vars"] >= 2

@@ -1,0 +1,109 @@
+"""Transformation rendering tests (the Fig. 3 visual-inspection story)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.backends import get_backend
+from repro.core.toolchain.render import (
+    render_all_diffs,
+    render_diff,
+    render_function,
+    render_library,
+)
+from repro.core.toolchain.sources import default_kernel_sources
+from repro.core.toolchain.transform import transform
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def trees():
+    sources = default_kernel_sources()
+    config = make_config(isolate=("lwip",), sharing="dss")
+    transformed, _, _ = transform(sources, config,
+                                  get_backend("intel-mpk"))
+    return sources, transformed
+
+
+class TestRendering:
+    def test_function_renders_as_pseudo_c(self):
+        sources = default_kernel_sources()
+        lines = render_function(sources.resolve("newlib", "recv"))
+        assert lines[0] == "void recv(void)"
+        assert any("tcp_recv" in line for line in lines)
+        assert lines[-1] == "}"
+
+    def test_library_includes_statics(self):
+        sources = default_kernel_sources()
+        text = "\n".join(render_library(sources.library("lwip")))
+        assert "micro-library: lwip" in text
+        assert "pcb_table" in text
+        assert "__shared" in text  # annotated statics carry the keyword
+
+    def test_shared_annotation_shows_whitelist(self):
+        sources = default_kernel_sources()
+        text = "\n".join(render_library(sources.library("lwip")))
+        assert "__shared(newlib, app)" in text
+
+    def test_diff_shows_gate_insertion(self, trees):
+        before, after = trees
+        diff = render_diff(before, after, "newlib")
+        assert "--- a/newlib.c" in diff
+        assert "-    tcp_recv();" in diff
+        assert "+    flexos_gate(lwip, tcp_recv);  /* mpk-full */" in diff
+
+    def test_diff_shows_dss_rewrite(self, trees):
+        before, after = trees
+        diff = render_diff(before, after, "lwip")
+        assert "__shared" in diff                # before: annotation
+        assert "shadow: *(&rx_buf + STACK_SIZE)" in diff  # after: DSS
+
+    def test_heap_conversion_rendering(self):
+        sources = default_kernel_sources()
+        config = make_config(isolate=("lwip",), sharing="heap")
+        transformed, _, _ = transform(sources, config,
+                                      get_backend("intel-mpk"))
+        diff = render_diff(sources, transformed, "lwip")
+        assert "flexos_malloc_shared" in diff
+        assert "flexos_free_shared" in diff
+
+    def test_untouched_library_has_empty_diff(self, trees):
+        before, after = trees
+        # uktime has no cross-compartment calls or shared vars here.
+        assert render_diff(before, after, "uktime") == ""
+
+    def test_all_diffs_cover_touched_libraries(self, trees):
+        before, after = trees
+        text = render_all_diffs(before, after)
+        assert "a/newlib.c" in text
+        assert "a/lwip.c" in text
+        assert "a/uktime.c" not in text
+
+
+class TestCliDiff:
+    CONFIG = (
+        "compartments:\n"
+        "  comp1:\n"
+        "    mechanism: intel-mpk\n"
+        "    default: True\n"
+        "  comp2:\n"
+        "    mechanism: intel-mpk\n"
+        "libraries:\n"
+        "  - lwip: comp2\n"
+    )
+
+    def test_diff_command(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text(self.CONFIG)
+        out = io.StringIO()
+        assert main(["diff", str(path), "--library", "newlib"],
+                    out=out) == 0
+        assert "flexos_gate(lwip" in out.getvalue()
+
+    def test_diff_all_libraries(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text(self.CONFIG)
+        out = io.StringIO()
+        assert main(["diff", str(path)], out=out) == 0
+        assert "b/lwip.c (transformed)" in out.getvalue()

@@ -1,0 +1,99 @@
+"""Restricted shared domains: leftover MPK keys as pairwise channels."""
+
+import pytest
+
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ProtectionFault
+from repro.hw.memory import MemoryObject
+from repro.kernel.lib import entrypoint
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def three_comp_instance():
+    """lwip and uksched each isolated; vfscore stays in the default."""
+    config = make_config(isolate=("lwip", "uksched"), n_extra=2)
+    return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+def restricted_object(instance, heap, symbol, value):
+    allocation = heap.malloc(16)
+    return MemoryObject(symbol, heap.region, allocation.offset, value=value)
+
+
+class TestRestrictedDomains:
+    def test_members_can_access(self, three_comp_instance):
+        instance = three_comp_instance
+        heap = instance.backend.create_restricted_domain(
+            instance, "net-sched", ["lwip", "uksched"],
+        )
+        channel = restricted_object(instance, heap, "wakeup_slot", 7)
+
+        @entrypoint("lwip")
+        def lwip_reads():
+            return channel.read(instance.ctx)
+
+        @entrypoint("uksched")
+        def sched_reads():
+            return channel.read(instance.ctx)
+
+        with instance.run():
+            assert lwip_reads() == 7
+            assert sched_reads() == 7
+
+    def test_non_members_fault(self, three_comp_instance):
+        """The safety win over a single global shared area: compartments
+        outside the group cannot touch the channel."""
+        instance = three_comp_instance
+        heap = instance.backend.create_restricted_domain(
+            instance, "net-sched", ["lwip", "uksched"],
+        )
+        channel = restricted_object(instance, heap, "wakeup_slot", 7)
+
+        @entrypoint("vfscore")
+        def fs_snoops():
+            return channel.read(instance.ctx)
+
+        with instance.run():
+            # vfscore lives in the default compartment (not a member):
+            # reading through its gate must fault.
+            with pytest.raises(ProtectionFault):
+                fs_snoops()
+
+    def test_global_shared_heap_still_open_to_all(self, three_comp_instance):
+        instance = three_comp_instance
+        shared = instance.shared_object("global_slot", value=1)
+
+        @entrypoint("vfscore")
+        def anyone():
+            return shared.read(instance.ctx)
+
+        with instance.run():
+            assert anyone() == 1
+
+    def test_domain_accounting(self, three_comp_instance):
+        instance = three_comp_instance
+        instance.backend.create_restricted_domain(
+            instance, "a", ["lwip", "uksched"],
+        )
+        instance.backend.create_restricted_domain(
+            instance, "b", ["lwip", "vfscore"],
+        )
+        domains = instance.backend.restricted_domains
+        assert set(domains) == {"a", "b"}
+        (pkey_a, members_a) = domains["a"]
+        (pkey_b, members_b) = domains["b"]
+        assert pkey_a != pkey_b
+        assert members_a != members_b
+
+    def test_default_member_grants_boot_cpu(self, three_comp_instance):
+        """When the default compartment joins a domain, the boot context
+        gains the key immediately."""
+        instance = three_comp_instance
+        heap = instance.backend.create_restricted_domain(
+            instance, "fs-link", ["vfscore", "lwip"],
+        )
+        channel = restricted_object(instance, heap, "fs_slot", 3)
+        with instance.run():
+            assert channel.read(instance.ctx) == 3

@@ -1,0 +1,274 @@
+"""Scheduler tests: dispatch, sleep, blocking, hooks, invariants."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.kernel.sched import (
+    Scheduler,
+    WaitQueue,
+    block,
+    sleep,
+    yield_,
+)
+from repro.kernel.thread import ThreadState
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(Clock(), CostModel.xeon_4114())
+
+
+class TestBasicDispatch:
+    def test_single_thread_runs_to_completion(self, sched):
+        log = []
+
+        def body():
+            log.append("a")
+            yield yield_()
+            log.append("b")
+
+        thread = sched.create_thread("t", body)
+        sched.run()
+        assert log == ["a", "b"]
+        assert thread.state is ThreadState.EXITED
+
+    def test_round_robin_interleaving(self, sched):
+        log = []
+
+        def make(name):
+            def body():
+                for i in range(3):
+                    log.append((name, i))
+                    yield yield_()
+            return body
+
+        sched.create_thread("x", make("x"))
+        sched.create_thread("y", make("y"))
+        sched.run()
+        assert log[:4] == [("x", 0), ("y", 0), ("x", 1), ("y", 1)]
+
+    def test_return_value_captured(self, sched):
+        def body():
+            yield yield_()
+            return 42
+
+        thread = sched.create_thread("t", body)
+        sched.run()
+        assert thread.result == 42
+
+    def test_switch_budget(self, sched):
+        def forever():
+            while True:
+                yield yield_()
+
+        sched.create_thread("loop", forever)
+        with pytest.raises(SchedulerError):
+            sched.run(max_switches=100)
+
+    def test_context_switch_charges_cycles(self, sched):
+        """Dispatch work is charged when running under a context (work()
+        is a no-op outside any simulation, by design)."""
+        from repro.hw.cpu import ExecutionContext, use_context
+        from repro.hw.mmu import MMU
+        from repro.hw.memory import PhysicalMemory
+
+        def body():
+            yield yield_()
+
+        sched.create_thread("t", body)
+        ctx = ExecutionContext(
+            sched.clock, sched.costs,
+            MMU(PhysicalMemory(), sched.costs),
+        )
+        before = sched.clock.cycles
+        with use_context(ctx):
+            sched.run()
+        assert sched.clock.cycles > before
+
+
+class TestSleep:
+    def test_sleep_advances_virtual_time(self, sched):
+        def body():
+            yield sleep(1_000_000)  # 1 ms
+
+        sched.create_thread("sleeper", body)
+        sched.run()
+        assert sched.clock.ns >= 1_000_000
+
+    def test_sleepers_wake_in_deadline_order(self, sched):
+        log = []
+
+        def sleeper(name, ns):
+            def body():
+                yield sleep(ns)
+                log.append(name)
+            return body
+
+        sched.create_thread("late", sleeper("late", 2_000_000))
+        sched.create_thread("early", sleeper("early", 500_000))
+        sched.run()
+        assert log == ["early", "late"]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(SchedulerError):
+            sleep(-1)
+
+    def test_runnable_threads_run_while_other_sleeps(self, sched):
+        log = []
+
+        def sleeper():
+            yield sleep(5_000_000)
+            log.append("woke")
+
+        def worker():
+            for _ in range(3):
+                log.append("work")
+                yield yield_()
+
+        sched.create_thread("s", sleeper)
+        sched.create_thread("w", worker)
+        sched.run()
+        assert log == ["work", "work", "work", "woke"]
+
+
+class TestBlocking:
+    def test_block_until_woken(self, sched):
+        queue = WaitQueue("q")
+        log = []
+
+        def waiter():
+            log.append("waiting")
+            yield block(queue)
+            log.append("woken")
+
+        def waker():
+            yield yield_()
+            sched.wake(queue)
+            log.append("woke-it")
+            yield yield_()
+
+        sched.create_thread("waiter", waiter)
+        sched.create_thread("waker", waker)
+        sched.run()
+        assert log == ["waiting", "woke-it", "woken"]
+
+    def test_wake_all(self, sched):
+        queue = WaitQueue()
+        done = []
+
+        def waiter(name):
+            def body():
+                yield block(queue)
+                done.append(name)
+            return body
+
+        for name in ("a", "b", "c"):
+            sched.create_thread(name, waiter(name))
+
+        def waker():
+            yield yield_()
+            sched.wake_all(queue)
+
+        sched.create_thread("waker", waker)
+        sched.run()
+        assert sorted(done) == ["a", "b", "c"]
+
+    def test_deadlock_detected(self, sched):
+        queue = WaitQueue()
+
+        def stuck():
+            yield block(queue)
+
+        sched.create_thread("stuck", stuck)
+        with pytest.raises(SchedulerError, match="deadlock"):
+            sched.run()
+
+    def test_wake_on_empty_queue_is_noop(self, sched):
+        assert sched.wake(WaitQueue()) is None
+
+
+class TestHooks:
+    def test_thread_create_hook_fires(self, sched):
+        seen = []
+        sched.register_hook("thread_create", seen.append)
+        thread = sched.create_thread("t", lambda: iter(()))
+        assert seen == [thread]
+
+    def test_thread_exit_hook_fires(self, sched):
+        exited = []
+        sched.register_hook("thread_exit", exited.append)
+
+        def body():
+            yield yield_()
+
+        thread = sched.create_thread("t", body)
+        sched.run()
+        assert exited == [thread]
+
+    def test_switch_hook_sees_transition(self, sched):
+        switches = []
+        sched.register_hook(
+            "thread_switch", lambda prev, nxt: switches.append((prev, nxt)),
+        )
+
+        def body():
+            yield yield_()
+
+        sched.create_thread("t", body)
+        sched.run()
+        assert switches[0][1].name == "t"
+
+    def test_unknown_hook_rejected(self, sched):
+        with pytest.raises(SchedulerError):
+            sched.register_hook("on-fork", lambda: None)
+
+
+class TestInvariants:
+    """The properties the paper's Dafny-verified scheduler guarantees."""
+
+    def test_invariants_hold_during_run(self, sched):
+        def checker():
+            for _ in range(5):
+                sched.check_invariants()
+                yield yield_()
+
+        def sleeper():
+            yield sleep(100)
+
+        sched.create_thread("checker", checker)
+        sched.create_thread("sleeper", sleeper)
+        sched.run()
+        sched.check_invariants()
+
+    def test_bad_yield_value_rejected(self, sched):
+        def body():
+            yield "not-an-op"
+
+        sched.create_thread("bad", body)
+        with pytest.raises(SchedulerError, match="non-operation"):
+            sched.run()
+
+    def test_no_wakeup_lost(self, sched):
+        """A wake issued before the waiter blocks must not be lost:
+        the waiter re-checks its condition (poll-and-block pattern)."""
+        queue = WaitQueue()
+        state = {"ready": False}
+        log = []
+
+        def producer():
+            state["ready"] = True
+            sched.wake(queue)
+            log.append("produced")
+            yield yield_()
+
+        def consumer():
+            while not state["ready"]:
+                yield block(queue)
+            log.append("consumed")
+
+        sched.create_thread("producer", producer)
+        sched.create_thread("consumer", consumer)
+        sched.run()
+        assert "consumed" in log

@@ -1,0 +1,103 @@
+"""SGX backend tests: asymmetric visibility, ECALL costs, safety rank."""
+
+import pytest
+
+from repro.core.backends import SgxBackend, get_backend
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ProtectionFault
+from repro.explore.safety import MECHANISM_RANK
+from repro.hw.costs import CostModel
+from repro.kernel.lib import entrypoint
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def sgx_instance():
+    config = make_config(mechanism="intel-sgx", isolate=("lwip",))
+    return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+class TestSgxSemantics:
+    def test_enclave_memory_invisible_to_untrusted(self, sgx_instance):
+        """The EPC property: the world cannot read enclave memory."""
+        secret = sgx_instance.private_object("lwip", "session_keys",
+                                             value="aes-key")
+        with sgx_instance.run():
+            with pytest.raises(ProtectionFault):
+                secret.read(sgx_instance.ctx)
+
+    def test_enclave_reads_untrusted_memory(self, sgx_instance):
+        """The asymmetry: enclave code may touch untrusted data."""
+        untrusted = sgx_instance.private_object("vfscore", "fd_table",
+                                                value=[1, 2])
+
+        @entrypoint("lwip")
+        def enclave_code():
+            return untrusted.read(sgx_instance.ctx)
+
+        with sgx_instance.run():
+            assert enclave_code() == [1, 2]
+
+    def test_ecall_grants_epc_access(self, sgx_instance):
+        secret = sgx_instance.private_object("lwip", "session_keys",
+                                             value="aes-key")
+
+        @entrypoint("lwip")
+        def ecall_read():
+            return secret.read(sgx_instance.ctx)
+
+        with sgx_instance.run():
+            assert ecall_read() == "aes-key"
+
+    def test_world_switch_is_expensive(self, sgx_instance):
+        """ECALL/EEXIT dwarf MPK gates (thousands of cycles)."""
+        costs = sgx_instance.costs
+
+        @entrypoint("lwip")
+        def noop():
+            return None
+
+        with sgx_instance.run():
+            before = sgx_instance.clock.cycles
+            noop()
+            delta = sgx_instance.clock.cycles - before
+        assert delta >= costs.sgx_eenter + costs.sgx_eexit
+        assert delta > 40 * costs.gate_mpk_full
+
+    def test_functional_redis_on_sgx(self):
+        from tests.test_apps_redis import run_redis
+
+        config = make_config(mechanism="intel-sgx", isolate=("lwip",))
+        instance, server, client = run_redis(config)
+        assert server.commands == 15
+        assert instance.gate_crossings() > 0
+
+
+class TestSgxBackendContract:
+    def test_registered(self):
+        assert isinstance(get_backend("intel-sgx"), SgxBackend)
+
+    def test_gate_kind_in_transform(self):
+        config = make_config(mechanism="intel-sgx", isolate=("lwip",))
+        image = build_image(config)
+        assert "gate-to-ecall" in image.transform_report.rules
+
+    def test_ranked_above_ept_in_safety_order(self):
+        assert MECHANISM_RANK["intel-sgx"] > MECHANISM_RANK["vm-ept"]
+
+    def test_gate_cost_ordering(self):
+        costs = CostModel.xeon_4114()
+        assert costs.gate_one_way("intel-sgx") > costs.gate_one_way("vm-ept")
+
+    def test_dss_stays_untrusted_visible(self, sgx_instance):
+        """The DSS is shared memory, so it lives outside the EPC."""
+        with sgx_instance.run():
+            thread = sgx_instance.sched.create_thread(
+                "t", lambda: iter(()), compartment=0,
+            )
+        dss_region = thread.dss[0].dss_region
+        backend = sgx_instance.backend
+        assert backend.untrusted_view.is_mapped(dss_region)
+        for view in backend.enclave_views.values():
+            assert view.is_mapped(dss_region)

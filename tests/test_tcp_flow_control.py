@@ -1,0 +1,101 @@
+"""TCP flow control: receive-window advertisement and sender stalling."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.kernel.net import LinkedDevices, NetworkStack
+from repro.kernel.net.tcp import MSS, RECV_WINDOW_MAX, TcpState
+
+
+@pytest.fixture
+def pair():
+    costs = CostModel.xeon_4114()
+    clock = Clock()
+    link = LinkedDevices(costs)
+    server = NetworkStack(link.a, "10.0.0.2", costs, clock)
+    client = NetworkStack(link.b, "10.0.0.1", costs, clock)
+    return server, client
+
+
+def settle(*stacks, rounds=14):
+    for _ in range(rounds):
+        for stack in stacks:
+            stack.pump()
+
+
+def established(pair):
+    server, client = pair
+    listener = server.tcp_listen(80)
+    conn = client.tcp_connect("10.0.0.2", 80)
+    settle(server, client)
+    return server.tcp_accept(listener), conn, server, client
+
+
+class TestFlowControl:
+    def test_window_shrinks_as_buffer_fills(self, pair):
+        accepted, conn, server, client = established(pair)
+        assert accepted.recv_window() == RECV_WINDOW_MAX
+        client.tcp_send(conn, b"x" * 5000)
+        settle(server, client)
+        assert accepted.recv_window() == RECV_WINDOW_MAX - 5000
+
+    def test_sender_stalls_on_full_window(self, pair):
+        accepted, conn, server, client = established(pair)
+        # Send more than the receiver's whole window; nobody reads.
+        total = RECV_WINDOW_MAX + 20 * MSS
+        client.tcp_send(conn, b"y" * total)
+        settle(server, client, rounds=40)
+        assert conn.backlog_bytes > 0                 # sender stalled
+        assert len(accepted.recv_buffer) <= RECV_WINDOW_MAX
+
+    def test_reading_reopens_the_window(self, pair):
+        accepted, conn, server, client = established(pair)
+        total = RECV_WINDOW_MAX + 20 * MSS
+        client.tcp_send(conn, b"z" * total)
+        settle(server, client, rounds=40)
+        assert conn.backlog_bytes > 0
+        # The application drains the buffer; window updates flow back.
+        received = 0
+        for _ in range(200):
+            data = server.tcp_recv(accepted, 1 << 14)
+            received += len(data)
+            settle(server, client, rounds=4)
+            if received >= total:
+                break
+        assert received == total
+        assert conn.backlog_bytes == 0
+
+    def test_no_data_lost_under_pressure(self, pair):
+        accepted, conn, server, client = established(pair)
+        payload = bytes(range(256)) * 400  # ~100 KB > window
+        client.tcp_send(conn, payload)
+        received = b""
+        for _ in range(300):
+            settle(server, client, rounds=3)
+            received += server.tcp_recv(accepted, 1 << 13)
+            if len(received) >= len(payload):
+                break
+        assert received == payload
+
+    def test_small_transfers_unaffected(self, pair):
+        accepted, conn, server, client = established(pair)
+        client.tcp_send(conn, b"small")
+        settle(server, client)
+        assert conn.backlog_bytes == 0
+        assert server.tcp_recv(accepted, 10) == b"small"
+
+    def test_window_field_travels_in_headers(self, pair):
+        accepted, conn, server, client = established(pair)
+        client.tcp_send(conn, b"a" * 3000)
+        settle(server, client)
+        server.tcp_send(accepted, b"reply")  # carries the window
+        settle(server, client)
+        assert conn.snd_wnd == RECV_WINDOW_MAX - 3000
+
+    def test_connection_stays_established_while_stalled(self, pair):
+        accepted, conn, server, client = established(pair)
+        client.tcp_send(conn, b"q" * (RECV_WINDOW_MAX + MSS))
+        settle(server, client, rounds=30)
+        assert conn.state is TcpState.ESTABLISHED
+        assert accepted.state is TcpState.ESTABLISHED

@@ -1,0 +1,131 @@
+"""Thread object and net-device unit tests, plus small display helpers."""
+
+import pytest
+
+from repro.bench import format_bars
+from repro.errors import NetworkError, SchedulerError
+from repro.hw.costs import CostModel
+from repro.kernel.net.device import LinkedDevices, NetDevice
+from repro.kernel.net.socket import Socket
+from repro.kernel.thread import Thread, ThreadState
+
+
+class TestThread:
+    def test_unique_tids(self):
+        a = Thread("a", lambda: iter(()))
+        b = Thread("b", lambda: iter(()))
+        assert a.tid != b.tid
+
+    def test_double_start_rejected(self):
+        thread = Thread("t", lambda: iter(()))
+        thread.start()
+        with pytest.raises(SchedulerError):
+            thread.start()
+
+    def test_generator_requires_start(self):
+        thread = Thread("t", lambda: iter(()))
+        with pytest.raises(SchedulerError):
+            _ = thread.generator
+
+    def test_accepts_generator_instance(self):
+        def gen():
+            yield
+
+        thread = Thread("t", gen())
+        thread.start()
+        assert thread.generator is not None
+
+    def test_stack_registry_empty_by_default(self):
+        thread = Thread("t", lambda: iter(()))
+        assert thread.stack_for(0) is None
+        thread.stacks[0] = "stack"
+        assert thread.stack_for(0) == "stack"
+
+    def test_alive_until_exited(self):
+        thread = Thread("t", lambda: iter(()))
+        assert thread.alive
+        thread.state = ThreadState.EXITED
+        assert not thread.alive
+
+
+class TestNetDevice:
+    def setup_method(self):
+        self.costs = CostModel.xeon_4114()
+
+    def test_unlinked_device_drops_frames(self):
+        device = NetDevice("lonely", "02:00:00:00:00:01", self.costs)
+        device.transmit(b"\x00" * 64)
+        assert device.dropped == 1
+        assert device.tx_frames == 1
+
+    def test_poll_empty_returns_none(self):
+        device = NetDevice("d", "02:00:00:00:00:01", self.costs)
+        assert device.poll() is None
+        assert not device.has_rx
+
+    def test_linked_devices_deliver(self):
+        link = LinkedDevices(self.costs)
+        link.a.transmit(b"hello-frame")
+        assert link.b.poll() == b"hello-frame"
+
+    def test_drop_fn_counts(self):
+        link = LinkedDevices(self.costs)
+        link.b.drop_fn = lambda index: True
+        link.a.transmit(b"gone")
+        assert link.b.dropped == 1
+        assert link.b.poll() is None
+
+    def test_distinct_macs(self):
+        link = LinkedDevices(self.costs)
+        assert link.a.mac != link.b.mac
+
+
+class TestSocketEdges:
+    def setup_method(self):
+        self.costs = CostModel.xeon_4114()
+
+    def _stack(self):
+        from repro.hw.clock import Clock
+        from repro.kernel.net import NetworkStack
+
+        link = LinkedDevices(self.costs)
+        return NetworkStack(link.a, "10.0.0.2", self.costs, Clock())
+
+    def test_send_unconnected(self):
+        sock = Socket(self._stack())
+        with pytest.raises(NetworkError):
+            sock.send(b"x")
+
+    def test_recv_unconnected(self):
+        sock = Socket(self._stack())
+        with pytest.raises(NetworkError):
+            sock.try_recv(10)
+
+    def test_accept_without_listen(self):
+        sock = Socket(self._stack())
+        with pytest.raises(NetworkError):
+            sock.try_accept()
+
+    def test_listen_without_bind(self):
+        sock = Socket(self._stack())
+        with pytest.raises(NetworkError):
+            sock.listen()
+
+    def test_close_unconnected_is_noop(self):
+        Socket(self._stack()).close()
+
+
+class TestFormatBars:
+    def test_bars_scale_to_peak(self):
+        text = format_bars({"a": 100.0, "b": 50.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert format_bars({}) == "(no data)"
+
+    def test_title_and_values_shown(self):
+        text = format_bars({"x": 3.0}, title="T", fmt="%.1f")
+        assert text.splitlines()[0] == "T"
+        assert "3.0" in text

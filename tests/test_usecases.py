@@ -1,0 +1,158 @@
+"""Section 7 use-case scenarios as executable tests."""
+
+import pytest
+
+from repro.core.config import CompartmentSpec, SafetyConfig
+from repro.core.hardening import Hardening
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import ProtectionFault
+from repro.explore.safety import safety_leq
+from repro.apps.base import ComponentLayout
+from repro.kernel.irq import InterruptController
+
+
+def boot(mechanism, hardening=(), isolate=("lwip",)):
+    if mechanism == "none":
+        config = SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="none", default=True)], {},
+        )
+    else:
+        config = SafetyConfig(
+            [CompartmentSpec("comp1", mechanism=mechanism, default=True),
+             CompartmentSpec("comp2", mechanism=mechanism,
+                             hardening=hardening)],
+            {lib: "comp2" for lib in isolate},
+        )
+    return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+class TestCrashedSoftwareRestart:
+    """"When such a crash is detected ... it is wiser to start a safer
+    configuration of the same software."""
+
+    LADDER = (
+        ("none", ()),
+        ("intel-mpk", ()),
+        ("intel-mpk", (Hardening.KASAN,)),
+        ("vm-ept", (Hardening.KASAN,)),
+    )
+
+    def test_restart_ladder_monotonically_safer(self):
+        """Each rung of the restart ladder is provably at least as safe
+        (per the explorer's partial order) as the previous one."""
+        def as_layout(mechanism, hardening):
+            if mechanism == "none":
+                return ComponentLayout("l", ({"lwip", "app"},),
+                                       mechanism="none")
+            return ComponentLayout(
+                "l", ({"app"}, {"lwip"}),
+                hardening={"lwip": frozenset(hardening)},
+                mechanism=mechanism,
+            )
+
+        rungs = [as_layout(m, h) for m, h in self.LADDER]
+        for weaker, stronger in zip(rungs, rungs[1:]):
+            assert safety_leq(weaker, stronger)
+            assert not safety_leq(stronger, weaker)
+
+    def test_crash_then_safer_restart_contains_the_bug(self):
+        """The memory bug that crashed (silently corrupted) the first
+        build faults loudly on the next rung."""
+        unsafe = boot("none")
+        victim = unsafe.private_object("lwip", "pcb_table", value="x")
+        with unsafe.run():
+            victim.write(unsafe.ctx, "corrupted")  # no isolation: silent
+
+        safer = boot("intel-mpk")
+        victim2 = safer.private_object("lwip", "pcb_table", value="x")
+        with safer.run():
+            with pytest.raises(ProtectionFault):
+                victim2.write(safer.ctx, "corrupted")
+        assert victim2.peek() == "x"  # integrity preserved
+
+
+class TestHeterogeneousHardware:
+    """"Some servers might offer MPK support ..., others CHERI, others
+    only the classical MMU.  In every case [FlexOS] is able to get the
+    best from the available hardware without major rewrite."""
+
+    FLEET = {
+        "skylake-xeon": ("intel-mpk", "vm-ept", "none"),
+        "morello-board": ("cheri", "none"),
+        "legacy-box": ("vm-ept", "none"),
+    }
+
+    PREFERENCE = ("intel-mpk", "cheri", "vm-ept", "none")
+
+    def pick_backend(self, available):
+        for mechanism in self.PREFERENCE:
+            if mechanism in available:
+                return mechanism
+        raise AssertionError("no backend available")
+
+    def test_same_config_builds_on_every_host(self):
+        chosen = {}
+        for host, available in self.FLEET.items():
+            mechanism = self.pick_backend(available)
+            instance = boot(mechanism) if mechanism != "none" \
+                else boot("none")
+            assert instance.router is not None
+            chosen[host] = mechanism
+        assert chosen == {
+            "skylake-xeon": "intel-mpk",
+            "morello-board": "cheri",
+            "legacy-box": "vm-ept",
+        }
+
+
+class TestIncrementalVerification:
+    """"Individual components of FlexOS can be verified and isolated from
+    the rest of the system" — the verified scheduler keeps its invariants
+    even while unverified components run alongside."""
+
+    def test_scheduler_invariants_hold_under_app_chaos(self):
+        instance = boot("intel-mpk", isolate=("uksched",))
+        sched = instance.sched
+        with instance.run():
+            def chaotic():
+                from repro.kernel.sched import sleep, yield_
+                for i in range(5):
+                    yield yield_()
+                    yield sleep(100 * (i + 1))
+
+            def checker():
+                from repro.kernel.sched import yield_
+                for _ in range(8):
+                    assert sched.check_invariants()
+                    yield yield_()
+
+            for i in range(3):
+                sched.create_thread("chaos-%d" % i, chaotic)
+            sched.create_thread("verifier", checker)
+            sched.run()
+        assert sched.check_invariants()
+
+
+class TestNicInterruptPath:
+    def test_irq_pumps_the_stack(self):
+        from repro.hw.costs import CostModel
+        from repro.kernel.net.device import LinkedDevices
+        from repro.apps.host import HostEndpoint
+
+        costs = CostModel.xeon_4114()
+        machine = Machine(costs)
+        link = LinkedDevices(costs)
+        config = SafetyConfig(
+            [CompartmentSpec("comp1", mechanism="none", default=True)], {},
+        )
+        instance = FlexOSInstance(build_image(config), machine=machine,
+                                  net_device=link.a).boot()
+        host = HostEndpoint(link.b, "10.0.0.1", costs, machine.clock)
+        with instance.run():
+            instance.net.tcp_listen(80)
+            sock = host.socket()
+            host.connect_start(sock, "10.0.0.2", 80)
+            assert instance.net.frames_in == 0
+            instance.irq.raise_irq(InterruptController.IRQ_NET)
+            assert instance.net.frames_in == 1  # the SYN was processed

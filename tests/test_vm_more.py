@@ -1,0 +1,102 @@
+"""Additional instance-level behaviours: sharing strategies in threads,
+resource exhaustion, error paths."""
+
+import pytest
+
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.errors import AllocationError, ConfigError
+from tests.conftest import make_config
+
+
+def boot(sharing="dss", mechanism="intel-mpk"):
+    config = make_config(mechanism=mechanism, sharing=sharing)
+    return FlexOSInstance(build_image(config), machine=Machine()).boot()
+
+
+class TestSharingInThreads:
+    @pytest.mark.parametrize("sharing", ["dss", "heap", "shared-stack"])
+    def test_strategy_usable_from_a_thread(self, sharing):
+        instance = boot(sharing=sharing)
+        allocated = []
+        with instance.run():
+            def worker():
+                strategy = instance.sharing_for(
+                    instance.sched.current,
+                )
+                with strategy.frame() as frame:
+                    allocated.append(frame.alloc("shared_var", 8))
+                yield from ()
+
+            instance.sched.create_thread("w", worker)
+            instance.sched.run()
+        assert len(allocated) == 1
+        assert allocated[0].symbol == "shared_var"
+
+    def test_dss_only_exists_under_dss_strategy(self):
+        for sharing, expect_dss in (("dss", True), ("heap", False)):
+            instance = boot(sharing=sharing)
+            with instance.run():
+                thread = instance.sched.create_thread(
+                    "t", lambda: iter(()),
+                )
+            assert (thread.dss.get(0) is not None) == expect_dss
+
+    def test_dss_frames_per_request_reset(self):
+        """Per-request DSS frames release their slots (no creep across
+        requests), keeping the 8-page shadow from overflowing."""
+        instance = boot()
+        with instance.run():
+            def server_like():
+                dss = instance.sched.current.dss[0]
+                for _ in range(2000):  # >> DSS capacity if it leaked
+                    with dss.frame() as frame:
+                        frame.alloc("req_buf", 64)
+                assert dss.bytes_used == 0
+                yield from ()
+
+            instance.sched.create_thread("s", server_like)
+            instance.sched.run()
+
+
+class TestResourceExhaustion:
+    def test_compartment_heap_oom(self):
+        instance = boot()
+        heap = instance.memmgr.heap_of(0)
+        with instance.run():
+            with pytest.raises(AllocationError):
+                heap.malloc(1 << 30)
+
+    def test_oom_does_not_poison_the_heap(self):
+        instance = boot()
+        heap = instance.memmgr.heap_of(0)
+        with instance.run():
+            with pytest.raises(AllocationError):
+                heap.malloc(1 << 30)
+            allocation = heap.malloc(64)  # still serviceable
+            allocation.free()
+
+
+class TestErrorPaths:
+    def test_private_object_for_comp_without_data_section(self):
+        # Every built compartment has a data section, so fabricate the
+        # miss by asking before regions exist.
+        config = make_config()
+        instance = FlexOSInstance(build_image(config), machine=Machine())
+        with pytest.raises(ConfigError):
+            instance.private_object("lwip", "x")
+
+    def test_run_context_restores_on_exception(self):
+        instance = boot()
+        from repro.hw.cpu import maybe_current_context
+
+        with pytest.raises(RuntimeError):
+            with instance.run():
+                raise RuntimeError
+        assert maybe_current_context() is None
+
+    def test_repr_smoke(self):
+        instance = boot()
+        assert "booted=True" in repr(instance)
+        assert repr(instance.image)
+        assert repr(instance.image.compartments[0])
