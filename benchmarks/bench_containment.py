@@ -1,0 +1,55 @@
+"""Containment scorecard: identical fault campaigns across backends.
+
+Not a paper figure — the robustness experiment this repro adds on top:
+inject the same seeded fault plan under every backend and check that
+hardware isolation (MPK, EPT) contains what the ``none`` baseline leaks.
+"""
+
+from benchmarks.common import write_result
+from repro.bench.containment import (
+    format_scorecard,
+    run_scorecard,
+    scorecard_rows,
+)
+from repro.faults.injector import CROSS_COMPARTMENT_KINDS, FaultPlan
+
+SEED = 1
+N_FAULTS = 40
+
+
+def test_containment_scorecard(benchmark):
+    results = benchmark.pedantic(
+        run_scorecard, kwargs={"seed": SEED, "n_faults": N_FAULTS},
+        rounds=1, iterations=1,
+    )
+    text = format_scorecard(results)
+    write_result("containment", text)
+
+    by_backend = {r.config.name: r for r in results}
+    none = by_backend["none/propagate"]
+    assert set(by_backend) == {"none/propagate", "mpk-light/propagate",
+                               "mpk-full/propagate", "vm-ept/propagate"}
+
+    # Every backend faced the identical plan.
+    plans = {FaultPlan(SEED, N_FAULTS, kinds=r.config.kinds,
+                       targets=(1, 2)).describe() for r in results}
+    assert len(plans) == 1
+
+    # The acceptance bar: >= 95 % of cross-compartment faults contained
+    # under the hardware backends, while `none` leaks them.
+    for name in ("mpk-light/propagate", "mpk-full/propagate",
+                 "vm-ept/propagate"):
+        result = by_backend[name]
+        assert result.containment_rate() >= 0.95, name
+        assert result.counters()["leaked"] == 0, name
+
+    counts = none.counters()
+    assert none.containment_rate() == 0.0
+    assert counts["xcomp_leaked"] == counts["xcomp_injected"] > 0
+    # Software-detected faults (OOM, frame loss) are caught everywhere.
+    software = [r for r in none.records
+                if r.kind not in CROSS_COMPARTMENT_KINDS]
+    assert software and all(r.detected for r in software)
+
+    rows = scorecard_rows(results)
+    assert rows[0]["backend"] == "none/propagate"

@@ -24,10 +24,28 @@ endpoint is hardened (KASan checks every shared-buffer copy).
 from __future__ import annotations
 
 from repro.core.hardening import work_multiplier
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DegradedService
 
 #: The four components the Fig. 6 sweeps isolate/harden, in display order.
 COMPONENTS = ("lwip", "newlib", "uksched", "app")
+
+
+def degraded_call(func, fallback, *args, **kwargs):
+    """Call a gated entry point, mapping supervision-degraded faults to an
+    application-level error reply.
+
+    When the fault supervisor's policy for the callee compartment is
+    ``degrade``, a faulting call raises
+    :class:`~repro.errors.DegradedService` instead of the raw fault.  The
+    serve loops route through this helper so one poisoned request turns
+    into a protocol-correct error response (``-ERR`` for Redis, ``503``
+    for Nginx, a rolled-back transaction for SQLite) and the loop keeps
+    serving the next request.
+    """
+    try:
+        return func(*args, **kwargs)
+    except DegradedService as fault:
+        return fallback(fault)
 
 
 class RequestProfile:

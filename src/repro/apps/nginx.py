@@ -14,7 +14,7 @@ by application-side parsing and buffer handling.
 
 from __future__ import annotations
 
-from repro.apps.base import PortManifest, RequestProfile
+from repro.apps.base import PortManifest, RequestProfile, degraded_call
 from repro.kernel.fs.vfs import O_CREAT, O_RDONLY, O_WRONLY
 from repro.kernel.lib import entrypoint, register_library, work
 
@@ -57,6 +57,8 @@ class NginxServer:
         self.instance = instance
         self.docroot = docroot.rstrip("/")
         self.requests = 0
+        #: Requests answered with a degraded 503.
+        self.degraded = 0
         vfs = instance.vfs
         if not vfs.exists(self.docroot):
             vfs.mkdir(self.docroot)
@@ -89,6 +91,20 @@ class NginxServer:
         vfs.close(fd)
         return _RESPONSE_TEMPLATE % (200, b"OK", len(body)) + body
 
+    def handle_degradable(self, request_line):
+        """Like :meth:`handle`, but a supervision-degraded fault becomes
+        a 503 response instead of killing the worker."""
+        return degraded_call(self.handle, self._degraded_reply,
+                             request_line)
+
+    def _degraded_reply(self, fault):
+        self.degraded += 1
+        body = (b"<h1>503 Service Unavailable</h1><p>%s in %s</p>"
+                % (type(fault.cause).__name__.encode(),
+                   fault.compartment_name.encode()))
+        return _RESPONSE_TEMPLATE % (503, b"Service Unavailable",
+                                     len(body)) + body
+
     def serve(self, sock, libc, n_requests):
         """Generator: accept one keep-alive connection, serve requests."""
         client = yield from libc.accept_blocking(sock)
@@ -104,7 +120,7 @@ class NginxServer:
             raw, _, rest = bytes(buffer).partition(b"\r\n\r\n")
             buffer = bytearray(rest)
             request_line = raw.split(b"\r\n", 1)[0]
-            response = self.handle(request_line)
+            response = self.handle_degradable(request_line)
             libc.send(client, response)
             served += 1
         client.close()
@@ -138,7 +154,7 @@ class NginxServer:
                 raw, _, rest = bytes(buffer).partition(b"\r\n\r\n")
                 buffer = bytearray(rest)
                 request_line = raw.split(b"\r\n", 1)[0]
-                libc.send(client, self.handle(request_line))
+                libc.send(client, self.handle_degradable(request_line))
                 served += 1
             client.close()
             return served

@@ -14,7 +14,7 @@ directly (the "isolation for free" cut).
 
 from __future__ import annotations
 
-from repro.apps.base import PortManifest, RequestProfile
+from repro.apps.base import PortManifest, RequestProfile, degraded_call
 from repro.kernel.lib import entrypoint, register_library, work
 
 register_library("redis", role="user", loc=3200)
@@ -51,6 +51,8 @@ class RedisServer:
         self.db_object = instance.private_object("redis", "redis_db",
                                                  value={})
         self.commands = 0
+        #: Commands answered with a degraded ``-ERR`` reply.
+        self.degraded = 0
 
     # -- engine ---------------------------------------------------------------
     @entrypoint("redis")
@@ -84,6 +86,17 @@ class RedisServer:
             return b":%d\r\n" % int(existed)
         return b"-ERR unknown command %s\r\n" % op
 
+    def execute_degradable(self, line):
+        """Like :meth:`execute`, but a supervision-degraded fault becomes
+        a RESP ``-ERR`` reply instead of killing the connection."""
+        return degraded_call(self.execute, self._degraded_reply, line)
+
+    def _degraded_reply(self, fault):
+        self.degraded += 1
+        return (b"-ERR server degraded (%s in %s)\r\n"
+                % (type(fault.cause).__name__.encode(),
+                   fault.compartment_name.encode()))
+
     # -- server loop ------------------------------------------------------------
     def serve(self, sock, libc, n_requests):
         """Generator (a scheduler thread body): accept one client and
@@ -100,7 +113,7 @@ class RedisServer:
                 continue
             line, _, rest = bytes(buffer).partition(b"\r\n")
             buffer = bytearray(rest)
-            reply = self.execute(line)
+            reply = self.execute_degradable(line)
             libc.send(client, reply)
             served += 1
         client.close()
@@ -137,7 +150,7 @@ class RedisServer:
                     continue
                 line, _, rest = bytes(buffer).partition(b"\r\n")
                 buffer = bytearray(rest)
-                libc.send(client, self.execute(line))
+                libc.send(client, self.execute_degradable(line))
                 served += 1
             client.close()
             return served

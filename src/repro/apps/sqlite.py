@@ -17,7 +17,7 @@ rest).
 
 from __future__ import annotations
 
-from repro.apps.base import PortManifest, RequestProfile
+from repro.apps.base import PortManifest, RequestProfile, degraded_call
 from repro.errors import ConfigError
 from repro.kernel.fs.vfs import O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
 from repro.kernel.lib import entrypoint, register_library, work
@@ -145,6 +145,8 @@ class SqliteEngine:
         self.pager = Pager(self.vfs, path)
         self.tables = {}
         self.statements = 0
+        #: Statements aborted (rolled back) by a degraded fault.
+        self.aborted = 0
 
     @entrypoint("sqlite")
     def execute(self, sql):
@@ -160,6 +162,17 @@ class SqliteEngine:
         if lowered.startswith("select"):
             return self._select(text)
         raise ConfigError("unsupported SQL: %r" % sql)
+
+    def execute_degradable(self, sql):
+        """Like :meth:`execute`, but a supervision-degraded fault aborts
+        the statement's transaction: the journaled page is rolled back
+        and ``None`` is returned (SQLITE_ABORT)."""
+        return degraded_call(self.execute, self._abort, sql)
+
+    def _abort(self, fault):
+        self.aborted += 1
+        self.pager.rollback()
+        return None
 
     # -- statements -----------------------------------------------------------
     def _create(self, text):

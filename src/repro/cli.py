@@ -11,6 +11,8 @@ Usage::
     flexos-repro tcb redis.flexos.yaml
     flexos-repro explore --app redis --budget 500000
     flexos-repro table1
+    flexos-repro faults run --mechanism intel-mpk --seed 1 --faults 40
+    flexos-repro faults scorecard --seed 1 --faults 40
 """
 
 from __future__ import annotations
@@ -155,6 +157,40 @@ def cmd_table1(args, out):
     return 0
 
 
+def cmd_faults_run(args, out):
+    """Run one fault-injection campaign and print its records."""
+    from repro.faults.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        mechanism=args.mechanism, mpk_gate=args.mpk_gate,
+        policy=args.policy, seed=args.seed, n_faults=args.faults,
+    )
+    result = run_campaign(config)
+    out.write(result.to_text() + "\n")
+    out.write(result.summary_line() + "\n")
+    return 0
+
+
+def cmd_faults_scorecard(args, out):
+    """Run the identical campaign across all backends and tabulate."""
+    from repro.bench.containment import format_scorecard, run_scorecard
+
+    results = run_scorecard(seed=args.seed, n_faults=args.faults,
+                            policy=args.policy)
+    out.write(format_scorecard(results) + "\n")
+    if args.records:
+        for result in results:
+            out.write("\n" + result.to_text() + "\n")
+    if args.check:
+        hardware = [r for r in results
+                    if r.config.mechanism in ("intel-mpk", "vm-ept")]
+        if any(r.containment_rate() < 0.95 for r in hardware):
+            out.write("FAIL: hardware backend below 95% containment\n")
+            return 1
+        out.write("OK: all hardware backends >= 95% containment\n")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexos-repro",
@@ -207,6 +243,43 @@ def build_parser():
 
     p_table1 = sub.add_parser("table1", help="print the porting table")
     p_table1.set_defaults(func=cmd_table1)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection campaigns and containment",
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command",
+                                         required=True)
+
+    def add_campaign_args(p):
+        p.add_argument("--seed", type=int, default=1,
+                       help="campaign seed (same seed = same faults)")
+        p.add_argument("--faults", type=int, default=40,
+                       help="number of faults to inject")
+        p.add_argument("--policy", default="propagate",
+                       choices=("propagate", "retry", "restart",
+                                "degrade"))
+
+    p_frun = faults_sub.add_parser(
+        "run", help="one campaign against one backend",
+    )
+    add_campaign_args(p_frun)
+    p_frun.add_argument("--mechanism", default="intel-mpk",
+                        choices=("none", "intel-mpk", "vm-ept"))
+    p_frun.add_argument("--mpk-gate", default="full",
+                        choices=("full", "light"))
+    p_frun.set_defaults(func=cmd_faults_run)
+
+    p_fscore = faults_sub.add_parser(
+        "scorecard", help="identical campaign across all backends",
+    )
+    add_campaign_args(p_fscore)
+    p_fscore.add_argument("--records", action="store_true",
+                          help="also print per-fault records")
+    p_fscore.add_argument("--check", action="store_true",
+                          help="exit non-zero unless hardware backends "
+                               "contain >= 95%% of cross-compartment "
+                               "faults")
+    p_fscore.set_defaults(func=cmd_faults_scorecard)
 
     return parser
 

@@ -28,7 +28,13 @@ the profile-mode crossing counts are validated against functional runs.
 
 from __future__ import annotations
 
-from repro.errors import EntryPointViolation, IagoViolation
+from repro.errors import (
+    CompartmentFault,
+    DegradedService,
+    EntryPointViolation,
+    IagoViolation,
+    ReproError,
+)
 from repro.hw.memory import AccessType, MemoryObject
 
 
@@ -64,21 +70,69 @@ class Gate:
 
     # -- the call template ---------------------------------------------------
     def call(self, ctx, library, func, args, kwargs):
-        """Perform the cross-compartment call ``func(*args, **kwargs)``."""
+        """Perform the cross-compartment call ``func(*args, **kwargs)``.
+
+        A fault raised by the callee first unwinds through
+        :meth:`_call_once` (which restores the caller's domain exactly as
+        a clean return would), then reaches the per-compartment
+        supervisor, whose policy decides: propagate the raw fault, retry
+        or restart-and-replay the call, or convert it into a
+        :class:`~repro.errors.DegradedService` the application can answer
+        gracefully.  Without a supervisor the fault propagates unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(ctx, library, func, args, kwargs)
+            except CompartmentFault:
+                # Already supervised by an inner gate; never re-wrap.
+                raise
+            except ReproError as fault:
+                supervisor = ctx.supervisor
+                if supervisor is None:
+                    raise
+                decision = supervisor.on_fault(ctx, self, fault, attempt)
+                if decision.action == "degrade":
+                    raise DegradedService(
+                        self.dst.index, self.dst.name, self.kind, fault,
+                    ) from fault
+                if decision.action in ("retry", "restart"):
+                    attempt += 1
+                    continue
+                raise
+
+    def _call_once(self, ctx, library, func, args, kwargs):
+        """One crossing: enter, run, and unwind symmetrically.
+
+        The unwind is exception-safe at every stage: even when
+        :meth:`_enter` itself faults (e.g. the EPT descriptor write is
+        rejected), ``gate_depth`` is restored; and a raising callee is
+        still charged the return crossing, has the caller's PKRU/address
+        space/stack restored, and leaves ``ctx.compartment`` untouched —
+        the hardware pops the domain no matter how the call ends.
+        """
         self.crossings += 1
         ctx.record_transition(self.src.index, self.dst.index)
         ctx.gate_depth += 1
-        ctx.clock.charge(self.one_way_cost())
-        state = self._enter(ctx)
-        previous_comp = ctx.compartment
-        ctx.compartment = self.dst.index
         try:
-            with ctx.in_library(library):
-                return func(*args, **kwargs)
-        finally:
-            ctx.compartment = previous_comp
             ctx.clock.charge(self.one_way_cost())
-            self._leave(ctx, state)
+            state = self._enter(ctx)
+            previous_comp = ctx.compartment
+            ctx.compartment = self.dst.index
+            try:
+                injector = ctx.fault_injector
+                with ctx.in_library(library):
+                    if injector is not None:
+                        injector.on_gate_enter(self, ctx)
+                    result = func(*args, **kwargs)
+                if injector is not None:
+                    result = injector.on_gate_return(self, ctx, result)
+                return result
+            finally:
+                ctx.compartment = previous_comp
+                ctx.clock.charge(self.one_way_cost())
+                self._leave(ctx, state)
+        finally:
             ctx.gate_depth -= 1
 
 

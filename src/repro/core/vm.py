@@ -18,6 +18,7 @@ from repro.core.dss import DataShadowStack
 from repro.core.image import Router
 from repro.core.sharing import SharingStrategy
 from repro.errors import BuildError, ConfigError
+from repro.faults.supervisor import Supervisor
 from repro.hw.clock import Clock
 from repro.hw.costs import CostModel
 from repro.hw.cpu import ExecutionContext, use_context
@@ -67,6 +68,9 @@ class FlexOSInstance:
         self.ctx.work_multiplier = image.work_multiplier
 
         self.memmgr = MemoryManager(self.memory, allocator_kind=allocator)
+        #: Per-compartment fault supervision (propagate by default);
+        #: installed on the execution context at boot so gates consult it.
+        self.supervisor = Supervisor()
         self.sched = None
         self.time = None
         self.irq = None
@@ -148,6 +152,13 @@ class FlexOSInstance:
                 kind=comp.spec.allocator,  # None -> the instance default
             )
             self.backend.on_heap_created(self, comp, heap.region)
+            # The supervisor's restart policy reboots a compartment by
+            # reinitialising its heap (applications may register further
+            # state-reset handlers on top).
+            self.supervisor.add_restart_handler(
+                comp.index,
+                lambda index=comp.index: self.memmgr.reset_heap(index),
+            )
         shared = self.memmgr.create_shared_heap(self.shared_pkey)
         self.backend.on_heap_created(self, None, shared.region)
 
@@ -189,6 +200,7 @@ class FlexOSInstance:
         gates = self.backend.build_gates(self)
         self.router = Router(self.image, gates, self.costs)
         self.ctx.router = self.router
+        self.ctx.supervisor = self.supervisor
         self.libc = Libc(
             self.costs, memmgr=self.memmgr,
             default_compartment=self.image.compartment_of("newlib").index,
@@ -202,6 +214,32 @@ class FlexOSInstance:
             raise BuildError("boot() the instance before run()")
         with use_context(self.ctx):
             yield self
+
+    # -- fault injection & supervision ----------------------------------------
+    def attach_injector(self, injector):
+        """Install a :class:`~repro.faults.injector.FaultInjector`.
+
+        Gates consult the injector at every crossing; the injector in
+        turn reaches back into this instance (heaps, devices) for
+        non-gate injection sites.  Pass None to detach.
+        """
+        if injector is not None:
+            injector.instance = self
+        self.ctx.fault_injector = injector
+        return injector
+
+    def set_fault_policy(self, library_or_comp, policy, **kwargs):
+        """Set the recovery policy for the compartment of a library.
+
+        ``library_or_comp`` is a micro-library name (resolved to its
+        compartment) or a compartment index.  ``policy`` is a name from
+        :data:`repro.faults.supervisor.POLICY_NAMES` or a Policy object.
+        """
+        if isinstance(library_or_comp, str):
+            index = self.image.compartment_of(library_or_comp).index
+        else:
+            index = library_or_comp
+        return self.supervisor.set_policy(index, policy, **kwargs)
 
     # -- data helpers ----------------------------------------------------------
     def shared_object(self, symbol, value=None):

@@ -1,0 +1,41 @@
+"""Fault injection, supervision and recovery.
+
+The robustness subsystem: a seeded injection engine
+(:mod:`repro.faults.injector`), per-compartment supervision with
+pluggable recovery policies (:mod:`repro.faults.supervisor`), and
+reproducible campaigns that score containment per isolation backend
+(:mod:`repro.faults.campaign` — imported explicitly to keep this package
+importable from :mod:`repro.core.vm` without a cycle).
+"""
+
+from repro.faults.injector import (
+    CROSS_COMPARTMENT_KINDS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.supervisor import (
+    POLICY_NAMES,
+    DegradePolicy,
+    PropagatePolicy,
+    RestartPolicy,
+    RetryPolicy,
+    Supervisor,
+    make_policy,
+)
+
+__all__ = [
+    "CROSS_COMPARTMENT_KINDS",
+    "DegradePolicy",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "POLICY_NAMES",
+    "PropagatePolicy",
+    "RestartPolicy",
+    "RetryPolicy",
+    "Supervisor",
+    "make_policy",
+]

@@ -82,6 +82,13 @@ class ExecutionContext:
         self.gate_depth = 0
         #: Router installed by a booted image; None means direct calls.
         self.router = None
+        #: Fault injector armed by a campaign; gates consult it at every
+        #: crossing (None in normal operation).
+        self.fault_injector = None
+        #: Supervisor consulted when a callee compartment faults (None
+        #: means the fault propagates unchanged, the pre-supervision
+        #: behaviour).
+        self.supervisor = None
         #: Callable(library_name) -> float multiplier applied to modelled
         #: work, used to charge software-hardening instrumentation.
         self.work_multiplier = None

@@ -16,7 +16,7 @@ hold in the model.
 
 from __future__ import annotations
 
-from repro.errors import ProtectionFault
+from repro.errors import FaultContext, ProtectionFault
 from repro.hw.memory import AccessType, Perm
 
 
@@ -32,6 +32,15 @@ class MMU:
         #: vulnerability in the "react to hardware breaking" example).
         self.enforcing = True
 
+    def _fault(self, ctx, region, access, symbol, owner_library):
+        """Build a :class:`ProtectionFault` with a full context snapshot."""
+        return ProtectionFault(
+            symbol, ctx.compartment, region.compartment,
+            access=access.value, library=ctx.current_library,
+            owner_library=owner_library,
+            context=FaultContext.capture(ctx),
+        )
+
     def check(self, ctx, region, access, symbol=None, owner_library=None):
         """Validate one access; raises :class:`ProtectionFault` on denial."""
         self.checks += 1
@@ -46,20 +55,12 @@ class MMU:
             AccessType.EXEC: Perm.X,
         }[access]
         if not region.perm & needed:
-            raise ProtectionFault(
-                symbol, ctx.compartment, region.compartment,
-                access=access.value, library=ctx.current_library,
-                owner_library=owner_library,
-            )
+            raise self._fault(ctx, region, access, symbol, owner_library)
 
         # EPT-style: region must be mapped in this context's address space.
         if ctx.address_space is not None:
             if not ctx.address_space.is_mapped(region):
-                raise ProtectionFault(
-                    symbol, ctx.compartment, region.compartment,
-                    access=access.value, library=ctx.current_library,
-                    owner_library=owner_library,
-                )
+                raise self._fault(ctx, region, access, symbol, owner_library)
 
         # MPK-style: protection key must be enabled in the PKRU.
         if ctx.pkru is not None:
@@ -69,8 +70,4 @@ class MMU:
                 else ctx.pkru.can_read(region.pkey)
             )
             if not allowed:
-                raise ProtectionFault(
-                    symbol, ctx.compartment, region.compartment,
-                    access=access.value, library=ctx.current_library,
-                    owner_library=owner_library,
-                )
+                raise self._fault(ctx, region, access, symbol, owner_library)

@@ -86,6 +86,12 @@ class Allocator:
         self.region = region
         self.stats = AllocatorStats()
         self._live = {}  # offset -> Allocation
+        #: Optional callable(size) -> bool; True makes the allocation fail
+        #: (fault injection: modelled OOM without exhausting the region).
+        self.failure_hook = None
+        self._fail_countdown = 0
+        #: Injected failures served so far (campaign accounting).
+        self.injected_failures = 0
 
     # -- interface subclasses implement ------------------------------------
     def _alloc_block(self, size):
@@ -95,10 +101,32 @@ class Allocator:
     def _free_block(self, offset, size):
         raise NotImplementedError
 
+    # -- fault injection ------------------------------------------------------
+    def fail_next(self, count=1):
+        """Make the next ``count`` allocations fail with an injected OOM."""
+        self._fail_countdown = count
+
+    def _maybe_inject_failure(self, size):
+        fail = False
+        if self._fail_countdown > 0:
+            self._fail_countdown -= 1
+            fail = True
+        elif self.failure_hook is not None and self.failure_hook(size):
+            fail = True
+        if fail:
+            self.injected_failures += 1
+            error = AllocationError(
+                "injected OOM: %s refused %d bytes in region %s"
+                % (type(self).__name__, size, self.region.name)
+            )
+            error.injected = True
+            raise error
+
     # -- public API ---------------------------------------------------------
     def malloc(self, size):
         """Allocate ``size`` bytes; returns an :class:`Allocation`."""
         size = round_up(size)
+        self._maybe_inject_failure(size)
         offset, fast = self._alloc_block(size)
         self.stats.on_alloc(size, fast)
         self._charge_alloc(fast)

@@ -34,8 +34,11 @@ class MemoryManager:
         self.memory = memory
         self.allocator_kind = allocator_kind
         self._heaps = {}          # compartment id -> Allocator
+        self._heap_kinds = {}     # compartment id -> allocator kind
         self._shared_heap = None
         self._shared_pkey = DEFAULT_PKEY
+        #: Heap reinitialisations performed (supervisor restart policy).
+        self.heap_resets = 0
 
     # -- heaps ------------------------------------------------------------------
     def create_heap(self, compartment, pkey=DEFAULT_PKEY,
@@ -49,7 +52,25 @@ class MemoryManager:
         )
         allocator = make_allocator(kind or self.allocator_kind, region)
         self._heaps[compartment] = allocator
+        self._heap_kinds[compartment] = kind or self.allocator_kind
         return allocator
+
+    def reset_heap(self, compartment):
+        """Reinitialise a compartment's heap over its existing region.
+
+        The compartment-restart path of the fault supervisor: every live
+        allocation is dropped and a fresh allocator of the same kind is
+        installed — the modelled equivalent of re-running the
+        compartment's heap constructor after a crash.
+        """
+        old = self.heap_of(compartment)
+        fresh = make_allocator(
+            self._heap_kinds.get(compartment, self.allocator_kind),
+            old.region,
+        )
+        self._heaps[compartment] = fresh
+        self.heap_resets += 1
+        return fresh
 
     def create_shared_heap(self, pkey, size=DEFAULT_SHARED_HEAP_SIZE,
                            kind=None):

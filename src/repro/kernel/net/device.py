@@ -28,8 +28,13 @@ class NetDevice:
         self.tx_frames = 0
         self.rx_frames = 0
         self.dropped = 0
+        self.duplicated = 0
         #: Optional callable(frame_index) -> bool; True means drop.
         self.drop_fn = None
+        #: Optional callable(frame_index) -> bool; True delivers the frame
+        #: twice (fault injection: a retransmitting switch or a buggy
+        #: driver ring; TCP must de-duplicate by sequence number).
+        self.dup_fn = None
 
     @entrypoint("lwip")
     def transmit(self, frame):
@@ -40,13 +45,17 @@ class NetDevice:
         if self.peer is None:
             self.dropped += 1
             return
-        if self.peer.drop_fn is not None and self.peer.drop_fn(
-            self.peer.rx_frames + self.peer.dropped
-        ):
+        index = self.peer.rx_frames + self.peer.dropped
+        if self.peer.drop_fn is not None and self.peer.drop_fn(index):
             self.peer.dropped += 1
             return
-        self.peer.rx_queue.append(bytes(frame))
-        self.peer.rx_frames += 1
+        copies = 1
+        if self.peer.dup_fn is not None and self.peer.dup_fn(index):
+            copies = 2
+            self.peer.duplicated += 1
+        for _ in range(copies):
+            self.peer.rx_queue.append(bytes(frame))
+            self.peer.rx_frames += 1
 
     def poll(self):
         """Pop the next received frame, or None."""

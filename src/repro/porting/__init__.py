@@ -10,6 +10,7 @@ reports; :mod:`repro.porting.effort` reproduces Table 1.
 """
 
 from repro.porting.effort import porting_effort_table
-from repro.porting.workflow import PortingWorkflow
+from repro.porting.workflow import PortingWorkflow, render_crash_report
 
-__all__ = ["PortingWorkflow", "porting_effort_table"]
+__all__ = ["PortingWorkflow", "porting_effort_table",
+           "render_crash_report"]

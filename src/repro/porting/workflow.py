@@ -18,12 +18,36 @@ from __future__ import annotations
 from repro.errors import ProtectionFault, ReproError
 
 
+def render_crash_report(fault):
+    """Render one :class:`~repro.errors.ProtectionFault` the way a real
+    #PF handler dumps state: the faulting access plus the
+    :class:`~repro.errors.FaultContext` captured by the MMU (gate depth,
+    thread, PKRU contents / address space, virtual-clock time)."""
+    lines = [
+        "==== protection fault ====",
+        "symbol:        %r" % fault.symbol,
+        "access:        %s" % fault.access,
+        "accessor:      comp%s%s" % (
+            fault.accessor,
+            " (%s)" % fault.library if fault.library else "",
+        ),
+        "owner:         comp%s%s" % (
+            fault.owner,
+            " (%s)" % fault.owner_library if fault.owner_library else "",
+        ),
+    ]
+    if fault.context is not None:
+        lines.append(fault.context.describe())
+    return "\n".join(lines)
+
+
 class PortingReport:
     """Outcome of one porting session."""
 
     def __init__(self):
         self.annotated = []     # symbols shared, in discovery order
         self.violations = []    # symbols refused by the deny predicate
+        self.crash_reports = []  # rendered report per fault, in order
         self.iterations = 0
         self.clean = False
 
@@ -64,6 +88,7 @@ class PortingWorkflow:
             try:
                 workload()
             except ProtectionFault as fault:
+                report.crash_reports.append(render_crash_report(fault))
                 if deny is not None and deny(fault):
                     report.violations.append(fault.symbol)
                     raise ReproError(

@@ -125,3 +125,26 @@ class TestTable1:
         assert code == 0
         assert "TCP/IP stack (LwIP)" in output
         assert "+542 / -275" in output
+
+
+class TestFaults:
+    def test_run_prints_records_and_summary(self):
+        code, output = run(["faults", "run", "--mechanism", "intel-mpk",
+                            "--seed", "3", "--faults", "6"])
+        assert code == 0
+        assert "campaign mpk-full/propagate seed=3 faults=6" in output
+        assert "totals injected=6" in output
+        assert "containment=" in output
+
+    def test_run_is_reproducible(self):
+        argv = ["faults", "run", "--seed", "5", "--faults", "8"]
+        assert run(argv) == run(argv)
+
+    def test_scorecard_check_passes(self):
+        code, output = run(["faults", "scorecard", "--seed", "1",
+                            "--faults", "8", "--check"])
+        assert code == 0
+        assert "fault containment scorecard" in output
+        assert "none/propagate" in output
+        assert "vm-ept/propagate" in output
+        assert "OK: all hardware backends >= 95% containment" in output
