@@ -4,78 +4,46 @@ These complement the figure benchmarks: instead of the analytic profile,
 they run the *functional* system (real TCP bytes, real VFS journal) under
 three isolation postures each and report virtual-time metrics, verifying
 the figure-level ordering holds on the executing substrate too.
+
+The run machinery lives in :mod:`repro.bench.functional` (shared with
+the CLI's ``trace``/``metrics`` commands); each benchmark additionally
+dumps an observability snapshot to ``results/BENCH_functional_<app>.json``
+so per-PR trajectory points accumulate in version control.
 """
 
-import pytest
-
-from benchmarks.common import write_result
-from repro.apps.host import HostEndpoint
-from repro.apps.redis import RedisApp, redis_benchmark_client
-from repro.apps.sqlite import SqliteApp, insert_benchmark
+from benchmarks.common import write_metrics, write_result
 from repro.bench import format_bars
-from repro.core.config import CompartmentSpec, SafetyConfig
-from repro.core.toolchain.build import build_image
-from repro.core.vm import FlexOSInstance, Machine
-from repro.hw.costs import CostModel
-from repro.kernel.net.device import LinkedDevices
+from repro.bench.functional import run_functional_redis, run_functional_sqlite
+
+MECHANISMS = ("none", "intel-mpk", "vm-ept")
 
 
-def config_for(mechanism, isolate):
-    if mechanism == "none":
-        return SafetyConfig(
-            [CompartmentSpec("comp1", mechanism="none", default=True)], {},
-        )
-    return SafetyConfig(
-        [CompartmentSpec("comp1", mechanism=mechanism, default=True),
-         CompartmentSpec("comp2", mechanism=mechanism)],
-        {lib: "comp2" for lib in isolate},
-    )
+def _snapshot_point(run):
+    """One trajectory point: headline number + aggregated metrics."""
+    return {
+        "app": run.app,
+        "mechanism": run.mechanism,
+        "n_requests": run.n_requests,
+        "cycles_per_request": run.cycles_per_request,
+        "metrics": run.metrics_snapshot(),
+    }
 
 
-def run_functional_redis(mechanism, n_requests=40):
-    costs = CostModel.xeon_4114()
-    machine = Machine(costs)
-    link = LinkedDevices(costs)
-    instance = FlexOSInstance(
-        build_image(config_for(mechanism, ("lwip",))),
-        machine=machine, net_device=link.a,
-    ).boot()
-    host = HostEndpoint(link.b, "10.0.0.1", costs, machine.clock)
-    with instance.run():
-        server = RedisApp.make_server(instance)
-        sock = instance.libc.socket(instance.net).bind(6379).listen()
-        start = machine.clock.cycles
-        instance.sched.create_thread(
-            "redis", lambda: server.serve(sock, instance.libc, n_requests),
-        )
-        instance.sched.create_thread(
-            "bench", lambda: redis_benchmark_client(host, "10.0.0.2",
-                                                    6379, n_requests),
-        )
-        instance.sched.run()
-        elapsed = machine.clock.cycles - start
-    assert server.commands == n_requests
-    return elapsed / n_requests
-
-
-def run_functional_sqlite(mechanism, n_inserts=100):
-    instance = FlexOSInstance(
-        build_image(config_for(mechanism, ("vfscore", "ramfs"))),
-        machine=Machine(),
-    ).boot()
-    with instance.run():
-        engine = SqliteApp.make_engine(instance)
-        start = instance.clock.cycles
-        count = insert_benchmark(engine, n_inserts)
-        elapsed = instance.clock.cycles - start
-    assert count == n_inserts
-    return elapsed / n_inserts
+def _dump_traced_snapshots(app, runner):
+    """Re-run each posture traced and persist the metrics snapshots."""
+    write_metrics("functional_%s" % app, {
+        "app": app,
+        "points": [
+            _snapshot_point(runner(mechanism, trace=True))
+            for mechanism in MECHANISMS
+        ],
+    })
 
 
 def test_functional_redis_isolation_tax(benchmark):
     results = benchmark(lambda: {
-        mechanism: run_functional_redis(mechanism)
-        for mechanism in ("none", "intel-mpk", "vm-ept")
+        mechanism: run_functional_redis(mechanism).cycles_per_request
+        for mechanism in MECHANISMS
     })
     text = format_bars(
         results,
@@ -83,13 +51,14 @@ def test_functional_redis_isolation_tax(benchmark):
         fmt="%.0f",
     )
     write_result("functional_redis", text)
+    _dump_traced_snapshots("redis", run_functional_redis)
     assert results["none"] < results["intel-mpk"] < results["vm-ept"]
 
 
 def test_functional_sqlite_isolation_tax(benchmark):
     results = benchmark(lambda: {
-        mechanism: run_functional_sqlite(mechanism)
-        for mechanism in ("none", "intel-mpk", "vm-ept")
+        mechanism: run_functional_sqlite(mechanism).cycles_per_request
+        for mechanism in MECHANISMS
     })
     text = format_bars(
         results,
@@ -97,6 +66,7 @@ def test_functional_sqlite_isolation_tax(benchmark):
         fmt="%.0f",
     )
     write_result("functional_sqlite", text)
+    _dump_traced_snapshots("sqlite", run_functional_sqlite)
     assert results["none"] < results["intel-mpk"] < results["vm-ept"]
     # The functional journal's boundary traffic is heavier than the
     # analytic profile's batched counts, but the same ordering holds and

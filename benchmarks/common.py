@@ -9,6 +9,7 @@ pytest's capture.
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -21,4 +22,18 @@ def write_result(name, text):
     with open(path, "w") as handle:
         handle.write(text + "\n")
     print("\n" + text)
+    return path
+
+
+def write_metrics(name, payload):
+    """Persist one run's observability snapshot as BENCH_<name>.json.
+
+    The JSON files sit next to the text results so each PR's benchmark
+    run leaves a machine-readable trajectory point in version control.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
     return path

@@ -51,6 +51,7 @@ def scorecard_rows(results):
             "x-comp contained": "%d/%d" % (counts["xcomp_contained"],
                                            counts["xcomp_injected"]),
             "containment": "%.1f%%" % (100.0 * result.containment_rate()),
+            "cycles/fault": "%.0f" % result.mean_cycles_per_fault(),
         })
     return rows
 

@@ -6,6 +6,13 @@ a functional run (per-library work charged, gate transitions taken) and
 derives a profile from it, so the analytic inputs can be regenerated from
 — and checked against — the system actually executing.
 
+Crossing attribution rides on the observability layer: ``recording()``
+keeps a :class:`~repro.obs.Tracer` active for the block (reusing one the
+caller already installed), and each recorded gate span names the exact
+caller and callee micro-library — so a compartment hosting several
+profile components (say lwip *and* uksched) attributes each crossing to
+the component actually called, not to an arbitrary representative.
+
 Usage::
 
     recorder = ProfileRecorder(instance)
@@ -16,10 +23,11 @@ Usage::
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
 from repro.apps.base import RequestProfile
 from repro.errors import ReproError
+from repro.obs import Tracer, get_tracer, tracing
 
 #: Library -> profile-component mapping (profiles speak in the four
 #: Fig. 6 component names plus "app").
@@ -43,15 +51,31 @@ class ProfileRecorder:
         self._transitions_before = None
         self.work_delta = {}
         self.transition_delta = {}
+        #: Gate spans recorded during the block (per-crossing library
+        #: attribution for :meth:`component_crossings`).
+        self.gate_events = []
 
     @contextmanager
     def recording(self):
         ctx = self.instance.ctx
+        active = get_tracer()
+        if active.enabled and active.keep_events:
+            # Ride along on the caller's tracer instead of displacing it.
+            tracer, scope = active, nullcontext()
+            events_before = len(active.events)
+        else:
+            tracer = Tracer(clock=self.instance.clock)
+            scope, events_before = tracing(tracer), 0
         self._work_before = dict(ctx.work_by_library)
         self._transitions_before = dict(ctx.transitions)
         try:
-            yield self
+            with scope:
+                yield self
         finally:
+            self.gate_events = [
+                event for event in tracer.events[events_before:]
+                if event.cat == "gate"
+            ]
             self.work_delta = {
                 lib: cycles - self._work_before.get(lib, 0.0)
                 for lib, cycles in ctx.work_by_library.items()
@@ -68,34 +92,63 @@ class ProfileRecorder:
             return "app"
         return LIBRARY_TO_COMPONENT.get(library, "app")
 
+    @staticmethod
+    def _check_requests(n_requests):
+        if n_requests <= 0:
+            raise ReproError(
+                "profile derivation needs n_requests > 0, got %r"
+                % (n_requests,)
+            )
+
     def component_work(self, n_requests):
         """Per-request work by component, from the recorded run."""
+        self._check_requests(n_requests)
         work = {}
         for library, cycles in self.work_delta.items():
             component = self._component_of(library)
             work[component] = work.get(component, 0.0) + cycles / n_requests
         return work
 
+    def _dominant_component(self, comp_index):
+        """The component that did the most recorded work in a compartment.
+
+        Fallback attribution for transition counts with no matching gate
+        spans: weight each co-hosted component by the work its libraries
+        charged during the block (alphabetical tie-break, determinism).
+        """
+        weights = {}
+        for library in self.instance.image.compartments[comp_index].libraries:
+            component = self._component_of(library)
+            weights[component] = (
+                weights.get(component, 0.0) + self.work_delta.get(library, 0.0)
+            )
+        return max(sorted(weights), key=lambda name: weights[name])
+
     def component_crossings(self, n_requests):
         """Per-request crossings by component pair.
 
-        Compartment-indexed transitions are mapped back to component
-        pairs via the image's library assignment; crossings between
-        compartments hosting several components are attributed to the
-        pair of *default representatives* (good enough to compare the
-        communication structure against an analytic profile).
+        Each gate span recorded during the block names the caller and
+        callee micro-library, so crossings into a compartment hosting
+        several components land on the component actually entered.  When
+        no spans were captured (an untraced legacy recording), the
+        compartment-indexed transition counts are attributed to each
+        side's work-weighted dominant component.
         """
-        image = self.instance.image
-        comp_to_component = {}
-        for comp in image.compartments:
-            for library in comp.libraries:
-                component = self._component_of(library)
-                comp_to_component.setdefault(comp.index, set()).add(component)
+        self._check_requests(n_requests)
         crossings = {}
+        if self.gate_events:
+            for event in self.gate_events:
+                key = frozenset({
+                    self._component_of(event.args["src_library"]),
+                    self._component_of(event.args["library"]),
+                })
+                if len(key) == 1:
+                    continue
+                crossings[key] = crossings.get(key, 0) + 1.0 / n_requests
+            return crossings
         for (src, dst), count in self.transition_delta.items():
-            src_components = comp_to_component.get(src, {"app"})
-            dst_components = comp_to_component.get(dst, {"app"})
-            key = frozenset({min(src_components), min(dst_components)})
+            key = frozenset({self._dominant_component(src),
+                             self._dominant_component(dst)})
             if len(key) == 1:
                 continue
             crossings[key] = crossings.get(key, 0) + count / n_requests
@@ -103,6 +156,7 @@ class ProfileRecorder:
 
     def derive_profile(self, name, n_requests, **kwargs):
         """Build a :class:`RequestProfile` from the recorded run."""
+        self._check_requests(n_requests)
         if not self.work_delta:
             raise ReproError("nothing recorded; run inside recording()")
         work = self.component_work(n_requests)

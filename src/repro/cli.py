@@ -13,6 +13,8 @@ Usage::
     flexos-repro table1
     flexos-repro faults run --mechanism intel-mpk --seed 1 --faults 40
     flexos-repro faults scorecard --seed 1 --faults 40
+    flexos-repro trace redis --requests 40 --out trace-redis.json
+    flexos-repro metrics redis --requests 50 --out-dir obs-artifacts
 """
 
 from __future__ import annotations
@@ -191,6 +193,76 @@ def cmd_faults_scorecard(args, out):
     return 0
 
 
+def _traced_run(args):
+    """Run one functional app under a tracer; returns the FunctionalRun."""
+    from repro.bench.functional import run_functional
+
+    return run_functional(
+        args.app, args.mechanism, n_requests=args.requests,
+        mpk_gate=args.mpk_gate, trace=True,
+    )
+
+
+def cmd_trace(args, out):
+    """Run an app functionally and emit a Chrome trace of the run."""
+    import os
+
+    from repro.obs import chrome_trace_json, flamegraph
+
+    run = _traced_run(args)
+    tracer = run.tracer
+    path = args.out or "trace-%s.json" % args.app
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer) + "\n")
+    out.write("traced %s/%s: %d requests, %.0f cycles/request\n"
+              % (run.app, run.mechanism, run.n_requests,
+                 run.cycles_per_request))
+    out.write("  events:     %d (%d gate spans, %d pairs)\n"
+              % (len(tracer.events), len(tracer.events_in("gate")),
+                 len(tracer.gate_pairs())))
+    out.write("  trace:      %s (open in chrome://tracing or perfetto)\n"
+              % path)
+    if args.flamegraph:
+        with open(args.flamegraph, "w") as handle:
+            handle.write(flamegraph(tracer) + "\n")
+        out.write("  flamegraph: %s (folded stacks; flamegraph.pl)\n"
+                  % os.path.abspath(args.flamegraph))
+    return 0
+
+
+def cmd_metrics(args, out):
+    """Run an app functionally and emit the aggregated metrics snapshot."""
+    import os
+
+    from repro.obs import chrome_trace_json, metrics_json
+
+    run = _traced_run(args)
+    extra = {
+        "app": run.app,
+        "mechanism": run.mechanism,
+        "n_requests": run.n_requests,
+        "cycles_per_request": run.cycles_per_request,
+    }
+    text = metrics_json(run.tracer.metrics, extra=extra)
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        metrics_path = os.path.join(args.out_dir,
+                                    "metrics-%s.json" % run.app)
+        trace_path = os.path.join(args.out_dir, "trace-%s.json" % run.app)
+        with open(metrics_path, "w") as handle:
+            handle.write(text + "\n")
+        with open(trace_path, "w") as handle:
+            handle.write(chrome_trace_json(run.tracer) + "\n")
+        out.write("metrics for %s/%s: %d requests, %.0f cycles/request\n"
+                  % (run.app, run.mechanism, run.n_requests,
+                     run.cycles_per_request))
+        out.write("  metrics: %s\n" % metrics_path)
+        out.write("  trace:   %s\n" % trace_path)
+    else:
+        out.write(text + "\n")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexos-repro",
@@ -280,6 +352,37 @@ def build_parser():
                                "contain >= 95%% of cross-compartment "
                                "faults")
     p_fscore.set_defaults(func=cmd_faults_scorecard)
+
+    def add_functional_args(p):
+        from repro.bench.functional import FUNCTIONAL_APPS
+
+        p.add_argument("app", choices=FUNCTIONAL_APPS,
+                       help="which functional workload to run")
+        p.add_argument("--requests", type=int, default=40,
+                       help="requests (Redis) or INSERTs (SQLite) to run")
+        p.add_argument("--mechanism", default="intel-mpk",
+                       choices=("none", "intel-mpk", "vm-ept"))
+        p.add_argument("--mpk-gate", default="full",
+                       choices=("full", "light"))
+
+    p_trace = sub.add_parser(
+        "trace", help="run an app functionally, emit a Chrome trace",
+    )
+    add_functional_args(p_trace)
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="trace file (default: trace-<app>.json)")
+    p_trace.add_argument("--flamegraph", default=None, metavar="FILE",
+                         help="also write a folded-stack flamegraph")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run an app functionally, emit a metrics snapshot",
+    )
+    add_functional_args(p_metrics)
+    p_metrics.add_argument("--out-dir", default=None, metavar="DIR",
+                           help="write metrics-<app>.json and "
+                                "trace-<app>.json here instead of stdout")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     return parser
 

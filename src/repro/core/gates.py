@@ -36,6 +36,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.hw.memory import AccessType, MemoryObject
+from repro.obs import tracer as obs
 
 
 class Gate:
@@ -43,6 +44,14 @@ class Gate:
 
     #: Name used by transformation output and debug dumps.
     kind = "abstract"
+
+    #: Hard ceiling on supervised replays of one call.  Built-in policies
+    #: self-cap (RetryPolicy at ``max_retries``, RestartPolicy at
+    #: ``max_restarts``), but a custom policy that keeps answering
+    #: ``retry``/``restart`` would otherwise spin this loop forever; at
+    #: the ceiling the gate converts the decision to ``propagate`` and
+    #: lets the raw fault unwind.
+    MAX_SUPERVISED_ATTEMPTS = 8
 
     def __init__(self, src, dst, costs):
         """
@@ -79,6 +88,11 @@ class Gate:
         or restart-and-replay the call, or convert it into a
         :class:`~repro.errors.DegradedService` the application can answer
         gracefully.  Without a supervisor the fault propagates unchanged.
+
+        Replays are bounded by :attr:`MAX_SUPERVISED_ATTEMPTS` no matter
+        what the policy answers, so a pathological always-retry policy
+        cannot wedge the gate: at the ceiling the raw fault propagates
+        (and a ``gate-retry-ceiling`` trace event records the override).
         """
         attempt = 0
         while True:
@@ -98,6 +112,17 @@ class Gate:
                     ) from fault
                 if decision.action in ("retry", "restart"):
                     attempt += 1
+                    if attempt >= self.MAX_SUPERVISED_ATTEMPTS:
+                        tracer = obs.ACTIVE
+                        if tracer.enabled:
+                            tracer.instant(
+                                "gate-retry-ceiling", "supervisor",
+                                dst=self.dst.name, kind=self.kind,
+                                attempts=attempt,
+                                fault=type(fault).__name__,
+                                policy_action=decision.action,
+                            )
+                        raise
                     continue
                 raise
 
@@ -113,6 +138,10 @@ class Gate:
         """
         self.crossings += 1
         ctx.record_transition(self.src.index, self.dst.index)
+        tracer = obs.ACTIVE
+        span = tracer.gate_begin(self, ctx, library) if tracer.enabled \
+            else None
+        status = "ok"
         ctx.gate_depth += 1
         try:
             ctx.clock.charge(self.one_way_cost())
@@ -132,8 +161,13 @@ class Gate:
                 ctx.compartment = previous_comp
                 ctx.clock.charge(self.one_way_cost())
                 self._leave(ctx, state)
+        except ReproError as fault:
+            status = type(fault).__name__
+            raise
         finally:
             ctx.gate_depth -= 1
+            if span is not None:
+                tracer.gate_end(span, ctx, status=status)
 
 
 class FunctionCallGate(Gate):

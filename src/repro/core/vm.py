@@ -215,6 +215,27 @@ class FlexOSInstance:
         with use_context(self.ctx):
             yield self
 
+    # -- observability ----------------------------------------------------------
+    @contextmanager
+    def trace(self, tracer=None):
+        """Enable observability for a block; yields the active Tracer.
+
+        Installs ``tracer`` (or a fresh :class:`~repro.obs.Tracer` bound
+        to this instance's clock) as the process-wide active tracer for
+        the block, restoring the previous tracer on exit.  Tracing never
+        charges the virtual clock, so measurements taken inside the
+        block are identical to an untraced run::
+
+            with instance.trace() as tracer, instance.run():
+                ... workload ...
+            snapshot = tracer.metrics.snapshot()
+        """
+        from repro.obs import Tracer, tracing
+
+        tracer = tracer if tracer is not None else Tracer(clock=self.clock)
+        with tracing(tracer):
+            yield tracer
+
     # -- fault injection & supervision ----------------------------------------
     def attach_injector(self, injector):
         """Install a :class:`~repro.faults.injector.FaultInjector`.

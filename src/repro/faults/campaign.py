@@ -142,10 +142,10 @@ class FaultRecord:
     """One injected fault and its scored outcome."""
 
     __slots__ = ("index", "kind", "dst", "detected", "contained", "leaked",
-                 "recovered", "detail")
+                 "recovered", "cycles", "detail")
 
     def __init__(self, index, kind, dst, detected=False, contained=False,
-                 leaked=False, recovered=False, detail=""):
+                 leaked=False, recovered=False, cycles=0.0, detail=""):
         self.index = index
         self.kind = kind
         self.dst = dst
@@ -153,6 +153,10 @@ class FaultRecord:
         self.contained = contained
         self.leaked = leaked
         self.recovered = recovered
+        #: Virtual cycles the instance spent injecting, detecting and
+        #: handling this fault (including the post-fault health probe).
+        #: Deterministic per config, so it is safe in the stable text.
+        self.cycles = cycles
         self.detail = detail
 
     @property
@@ -161,10 +165,10 @@ class FaultRecord:
 
     def line(self):
         return ("%03d %-14s dst=%-4s detected=%d contained=%d leaked=%d "
-                "recovered=%d %s"
+                "recovered=%d cycles=%-7d %s"
                 % (self.index, self.kind, self.dst, int(self.detected),
                    int(self.contained), int(self.leaked),
-                   int(self.recovered), self.detail))
+                   int(self.recovered), round(self.cycles), self.detail))
 
     def __repr__(self):
         return "FaultRecord(%s)" % self.line()
@@ -196,6 +200,12 @@ class CampaignResult:
             "xcomp_contained": sum(r.contained for r in xcomp),
             "xcomp_leaked": sum(r.leaked for r in xcomp),
         }
+
+    def mean_cycles_per_fault(self):
+        """Average virtual cycles spent per injected fault."""
+        if not self.records:
+            return 0.0
+        return sum(r.cycles for r in self.records) / len(self.records)
 
     def containment_rate(self):
         """Fraction of cross-compartment faults that stayed contained."""
@@ -429,12 +439,14 @@ def run_campaign(config):
     result = CampaignResult(config)
     with instance.run():
         for index, spec in enumerate(plan):
+            before = instance.clock.cycles
             if spec.kind in ("net-drop", "net-dup"):
                 record = _execute_net_fault(instance, link, injector,
                                             spec, index)
             else:
                 record = _execute_gate_fault(instance, injector, spec,
                                              index)
+            record.cycles = instance.clock.cycles - before
             result.add(record)
     return result
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import ConfigError, RpcDropFault
+from repro.obs import tracer as obs
 
 #: Every fault kind the engine knows how to inject.
 FAULT_KINDS = (
@@ -205,6 +206,12 @@ class FaultInjector:
     def last_event(self):
         return self.events[-1] if self.events else None
 
+    def _trace(self, kind, dst, **args):
+        """Mirror one injection into the active tracer (if any)."""
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.fault("injected:%s" % kind, dst=dst, **args)
+
     def _take(self, gate):
         """The spec (if any) that should fire at this crossing."""
         spec = self._armed
@@ -254,6 +261,7 @@ class FaultInjector:
             spec.kind, gate.dst.index,
             detail="return value replaced by pointer to %r" % victim.symbol,
         ))
+        self._trace(spec.kind, gate.dst.index, symbol=victim.symbol)
         return victim
 
     # -- the individual injections ----------------------------------------------
@@ -265,6 +273,7 @@ class FaultInjector:
         event = InjectionEvent(spec.kind, gate.dst.index,
                                detail="touched %r" % victim.symbol)
         self.events.append(event)
+        self._trace(spec.kind, gate.dst.index, symbol=victim.symbol)
         try:
             if spec.kind == "stray-read":
                 event.value = victim.read(ctx)
@@ -289,6 +298,7 @@ class FaultInjector:
             spec.kind, gate.dst.index,
             detail="next allocation in %s fails" % heap.region.name,
         ))
+        self._trace(spec.kind, gate.dst.index, region=heap.region.name)
 
     def _drop_rpc(self, spec, gate):
         self.injected += 1
@@ -296,6 +306,7 @@ class FaultInjector:
                                raised="RpcDropFault",
                                detail="descriptor lost")
         self.events.append(event)
+        self._trace(spec.kind, gate.dst.index, gate_kind=gate.kind)
         raise RpcDropFault(gate.kind, gate.dst.name)
 
     # -- direct (non-gate) injections --------------------------------------------
@@ -319,6 +330,7 @@ class FaultInjector:
         self.events.append(InjectionEvent(
             kind, None, detail="armed on %s" % device.name,
         ))
+        self._trace(kind, None, device=device.name)
         return fired
 
     def __repr__(self):

@@ -31,6 +31,7 @@ from repro.errors import (
     ConfigError,
     TransientFault,
 )
+from repro.obs import tracer as obs
 
 #: Cycles the supervisor itself burns classifying one fault (reading the
 #: fault record, looking up the policy) — charged on every supervised fault.
@@ -236,6 +237,12 @@ class Supervisor:
             comp.index, comp.name, gate.kind, type(fault).__name__,
             decision.action, attempt,
         ))
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.supervision(
+                comp.name, decision.action, type(fault).__name__, attempt,
+                gate_kind=gate.kind, note=decision.note,
+            )
         return decision
 
     def restart_compartment(self, comp_index):

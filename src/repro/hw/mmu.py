@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.errors import FaultContext, ProtectionFault
 from repro.hw.memory import AccessType, Perm
+from repro.obs import tracer as obs
 
 
 class MMU:
@@ -34,6 +35,13 @@ class MMU:
 
     def _fault(self, ctx, region, access, symbol, owner_library):
         """Build a :class:`ProtectionFault` with a full context snapshot."""
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.fault(
+                "ProtectionFault", symbol=symbol, access=access.value,
+                accessor=ctx.compartment, owner=region.compartment,
+                library=ctx.current_library,
+            )
         return ProtectionFault(
             symbol, ctx.compartment, region.compartment,
             access=access.value, library=ctx.current_library,

@@ -11,6 +11,7 @@ domains between restricted compartment groups.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.obs import tracer as obs
 
 #: Number of protection keys the hardware offers.
 NUM_PKEYS = 16
@@ -46,12 +47,18 @@ class PKRU:
             self._write_disable &= ~(1 << key)
         else:
             self._write_disable |= 1 << key
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.pkru_write("allow", key)
 
     def deny(self, key):
         """Revoke all rights for ``key``."""
         self._check_key(key)
         self._access_disable |= 1 << key
         self._write_disable |= 1 << key
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.pkru_write("deny", key)
 
     def can_read(self, key):
         self._check_key(key)
@@ -67,6 +74,9 @@ class PKRU:
 
     def restore(self, snap):
         self._access_disable, self._write_disable = snap
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.pkru_write("restore", None)
 
     def allowed_keys(self):
         """Set of keys with at least read access."""

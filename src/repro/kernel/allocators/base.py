@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.errors import AllocationError, InvalidFree
 from repro.kernel.lib import work
+from repro.obs import tracer as obs
 
 #: All allocations are rounded up to this granule, like real allocators.
 MIN_BLOCK = 16
@@ -115,6 +116,12 @@ class Allocator:
             fail = True
         if fail:
             self.injected_failures += 1
+            tracer = obs.ACTIVE
+            if tracer.enabled:
+                tracer.fault(
+                    "AllocationError", injected=True, bytes=size,
+                    region=self.region.name,
+                )
             error = AllocationError(
                 "injected OOM: %s refused %d bytes in region %s"
                 % (type(self).__name__, size, self.region.name)
@@ -130,6 +137,9 @@ class Allocator:
         offset, fast = self._alloc_block(size)
         self.stats.on_alloc(size, fast)
         self._charge_alloc(fast)
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.alloc_op("alloc", self.region.name, size, fast=fast)
         allocation = Allocation(offset, size, self)
         self._live[offset] = allocation
         return allocation
@@ -144,6 +154,9 @@ class Allocator:
         self._free_block(allocation.offset, allocation.size)
         self.stats.on_free(allocation.size)
         self._charge_free()
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.alloc_op("free", self.region.name, allocation.size)
 
     def calloc(self, size):
         """malloc + zeroing charge."""

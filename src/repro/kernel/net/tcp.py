@@ -19,6 +19,7 @@ import enum
 
 from repro.errors import NetworkError
 from repro.kernel.net.headers import ACK, FIN, PSH, SYN, TcpHeader
+from repro.obs import tracer as obs
 
 #: Maximum segment size for a standard 1500-byte MTU.
 MSS = 1460
@@ -87,6 +88,10 @@ class TcpConnection:
             self.rcv_nxt, flags, window=window,
         )
         self.segments_out += 1
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.tcp_segment("tx", flags, len(payload),
+                               port=self.local_port)
         self.stack.tcp_output(self, header, payload)
 
     def open_active(self, remote_ip, remote_port):
@@ -171,6 +176,10 @@ class TcpConnection:
     def on_segment(self, header, payload):
         """The stack's demux delivers one parsed segment here."""
         self.segments_in += 1
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.tcp_segment("rx", header.flags, len(payload),
+                               port=self.local_port)
         handler = {
             TcpState.LISTEN: self._seg_listen,
             TcpState.SYN_SENT: self._seg_syn_sent,

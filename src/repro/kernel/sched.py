@@ -27,6 +27,7 @@ from repro.errors import SchedulerError
 from repro.hw.cpu import maybe_current_context
 from repro.kernel.lib import entrypoint, work
 from repro.kernel.thread import Thread, ThreadState
+from repro.obs import tracer as obs
 
 HOOK_EVENTS = ("thread_create", "thread_switch", "thread_exit", "boot")
 
@@ -184,6 +185,11 @@ class Scheduler:
         previous = self.current
         self.current = thread
         thread.state = ThreadState.RUNNING
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.context_switch(
+                previous.name if previous is not None else None, thread.name,
+            )
         self._fire("thread_switch", previous, thread)
 
     def _dispatch(self, thread, value):

@@ -1,0 +1,63 @@
+"""``repro.obs``: structured observability on the virtual clock.
+
+FlexOS's value proposition is making isolation costs *visible* so the
+poset explorer can trade safety against performance; this package is the
+instrumentation that grounds the claim.  A :class:`Tracer` records
+spans/events for every gate crossing, PKRU write, fault, supervision
+decision, allocator operation, context switch, and TCP segment; a
+:class:`MetricsRegistry` aggregates counters and latency histograms; and
+the exporters emit Chrome trace-event JSON, folded-stack flamegraphs,
+and JSON metric snapshots.
+
+Hook sites across the tree consult the module-level no-op singleton
+(:data:`repro.obs.tracer.ACTIVE`): with tracing disabled the whole layer
+costs a single attribute check per hook, and in *virtual* time it is
+free either way — the tracer never charges the clock.
+
+Quickstart::
+
+    from repro.obs import Tracer, tracing, chrome_trace_json
+
+    with tracing(Tracer(clock=instance.clock)) as tracer:
+        ... run the workload ...
+    open("trace.json", "w").write(chrome_trace_json(tracer))
+    snapshot = tracer.metrics.snapshot()
+
+Or from the CLI: ``flexos-repro trace redis`` / ``flexos-repro metrics
+redis``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    flamegraph,
+    metrics_json,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
+    "flamegraph",
+    "get_tracer",
+    "install_tracer",
+    "metrics_json",
+    "tracing",
+    "uninstall_tracer",
+]

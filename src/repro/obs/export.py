@@ -1,0 +1,92 @@
+"""Exporters: Chrome trace-event JSON, text flamegraph, metrics JSON.
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Trace Event
+  Format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+  gate crossings become complete (``"ph": "X"``) events, everything else
+  becomes instant (``"ph": "i"``) events.  Timestamps are microseconds
+  of *virtual* time at the traced clock's frequency.
+* :func:`flamegraph` — folded-stack lines (``a;b;c <self-cycles>``) of
+  the gated call stacks, the input format of Brendan Gregg's
+  ``flamegraph.pl`` and speedscope.
+* :func:`metrics_json` — the registry snapshot, pretty-printed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw.clock import XEON_4114_HZ
+
+
+def _cycles_to_us(cycles, freq_hz):
+    return cycles * 1e6 / freq_hz
+
+
+def chrome_trace(tracer, pid=1):
+    """Render a tracer's events as a Chrome trace-event dict."""
+    freq_hz = tracer.clock.freq_hz if tracer.clock is not None \
+        else XEON_4114_HZ
+    trace_events = []
+    for event in tracer.events:
+        common = {
+            "name": event.name,
+            "cat": event.cat,
+            "ts": _cycles_to_us(event.ts, freq_hz),
+            "pid": pid,
+            "tid": 1,
+            "args": _jsonable_args(event.args),
+        }
+        if event.is_span:
+            common["ph"] = "X"
+            common["dur"] = _cycles_to_us(event.dur, freq_hz)
+        else:
+            common["ph"] = "i"
+            common["s"] = "t"
+        trace_events.append(common)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "virtual cycles @ %.2f GHz" % (freq_hz / 1e9),
+            "events": len(trace_events),
+        },
+    }
+
+
+def _jsonable_args(args):
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in args.items()
+    }
+
+
+def chrome_trace_json(tracer, pid=1):
+    """The Chrome trace as a JSON string (load it in chrome://tracing)."""
+    return json.dumps(chrome_trace(tracer, pid=pid), indent=1)
+
+
+def flamegraph(tracer):
+    """Folded-stack text of the gated call stacks.
+
+    One line per distinct stack path, weighted by self-cycles (span
+    duration minus time spent in nested crossings), so the rendered
+    flamegraph's widths are virtual cycles spent at that exact depth.
+    """
+    folded = {}
+    for event in tracer.events:
+        if event.cat != "gate":
+            continue
+        path = ";".join(event.args["stack"])
+        folded[path] = folded.get(path, 0.0) + event.args["self_cycles"]
+    return "\n".join(
+        "%s %d" % (path, round(cycles))
+        for path, cycles in sorted(folded.items())
+    )
+
+
+def metrics_json(registry, extra=None):
+    """The metrics snapshot as pretty JSON; ``extra`` merges on top."""
+    payload = registry.snapshot()
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

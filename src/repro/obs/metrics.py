@@ -1,0 +1,195 @@
+"""Metric aggregation for the observability layer.
+
+The :class:`MetricsRegistry` turns the tracer's event stream into
+constant-space aggregates: counters per gate pair / library / fault type
+/ supervision action / allocator path, plus fixed-bucket latency
+histograms per gate pair.  The invariant the tests pin down: for every
+gate pair, the latency histogram's total count equals the sum of that
+pair's crossing counters — histograms and counters observe the same
+stream, so they can never drift apart.
+
+Nothing here touches the virtual clock; aggregation is free in modelled
+time (see the module docstring of :mod:`repro.obs.tracer`).
+"""
+
+from __future__ import annotations
+
+#: Bucket upper bounds (virtual cycles) for gate-crossing latency.
+#: Spans the range from a plain function call (~5 cycles) to an EPT RPC
+#: with marshalling and supervision (tens of thousands).
+GATE_LATENCY_BUCKETS = (
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+    25000.0, 50000.0, 100000.0,
+)
+
+#: Bucket upper bounds (bytes) for allocation sizes.
+ALLOC_SIZE_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+                      4096.0, 16384.0, 65536.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram with an overflow bucket.
+
+    ``counts[i]`` counts observations ``<= buckets[i]`` (and greater
+    than the previous bound); ``counts[-1]`` is the overflow bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "sum")
+
+    def __init__(self, buckets):
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be ascending")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value):
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self):
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return "Histogram(total=%d mean=%.1f)" % (self.total, self.mean)
+
+
+class MetricsRegistry:
+    """Counters and histograms aggregated from the trace stream."""
+
+    def __init__(self):
+        #: (src_name, dst_name, gate_kind) -> crossings.
+        self.gate_crossings = {}
+        #: (src_name, dst_name) -> latency Histogram (virtual cycles).
+        self.gate_latency = {}
+        #: (src_comp_index, dst_comp_index) -> crossings.
+        self.gate_pairs = {}
+        #: callee micro-library -> gated calls into it.
+        self.crossings_by_library = {}
+        self.pkru_writes = 0
+        #: fault type name -> occurrences.
+        self.faults = {}
+        #: supervision action -> decisions.
+        self.supervision = {}
+        self.alloc_fast = 0
+        self.alloc_slow = 0
+        self.frees = 0
+        #: heap region name -> operations.
+        self.alloc_by_region = {}
+        self.alloc_sizes = Histogram(ALLOC_SIZE_BUCKETS)
+        self.context_switches = 0
+        #: "tx"/"rx" -> segments.
+        self.tcp_segments = {"tx": 0, "rx": 0}
+
+    # -- recording hooks (called by the Tracer) --------------------------------
+    def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
+                    duration):
+        key = (src, dst, kind)
+        self.gate_crossings[key] = self.gate_crossings.get(key, 0) + 1
+        pair = (src_comp, dst_comp)
+        self.gate_pairs[pair] = self.gate_pairs.get(pair, 0) + 1
+        self.crossings_by_library[library] = (
+            self.crossings_by_library.get(library, 0) + 1
+        )
+        histogram = self.gate_latency.get((src, dst))
+        if histogram is None:
+            histogram = self.gate_latency[(src, dst)] = Histogram(
+                GATE_LATENCY_BUCKETS,
+            )
+        histogram.observe(duration)
+
+    def record_pkru_write(self, op):
+        self.pkru_writes += 1
+
+    def record_fault(self, fault_type):
+        self.faults[fault_type] = self.faults.get(fault_type, 0) + 1
+
+    def record_supervision(self, action):
+        self.supervision[action] = self.supervision.get(action, 0) + 1
+
+    def record_alloc(self, op, region, size, fast):
+        if op == "alloc":
+            if fast:
+                self.alloc_fast += 1
+            else:
+                self.alloc_slow += 1
+            self.alloc_sizes.observe(size)
+        else:
+            self.frees += 1
+        self.alloc_by_region[region] = self.alloc_by_region.get(region, 0) + 1
+
+    def record_context_switch(self):
+        self.context_switches += 1
+
+    def record_tcp_segment(self, direction):
+        self.tcp_segments[direction] = self.tcp_segments.get(direction, 0) + 1
+
+    # -- derived views ----------------------------------------------------------
+    def total_crossings(self):
+        return sum(self.gate_crossings.values())
+
+    def crossings_for_pair(self, src, dst):
+        """Crossings src->dst summed over gate kinds (names, not indices)."""
+        return sum(
+            count for (s, d, _), count in self.gate_crossings.items()
+            if (s, d) == (src, dst)
+        )
+
+    def snapshot(self):
+        """A JSON-serialisable snapshot of every aggregate."""
+        return {
+            "counters": {
+                "gate_crossings": {
+                    "%s->%s/%s" % key: count
+                    for key, count in sorted(self.gate_crossings.items())
+                },
+                "gate_pairs": {
+                    "%d->%d" % pair: count
+                    for pair, count in sorted(self.gate_pairs.items())
+                },
+                "crossings_by_library": dict(
+                    sorted(self.crossings_by_library.items())
+                ),
+                "pkru_writes": self.pkru_writes,
+                "faults": dict(sorted(self.faults.items())),
+                "supervision": dict(sorted(self.supervision.items())),
+                "alloc": {
+                    "fast": self.alloc_fast,
+                    "slow": self.alloc_slow,
+                    "free": self.frees,
+                },
+                "alloc_by_region": dict(
+                    sorted(self.alloc_by_region.items())
+                ),
+                "context_switches": self.context_switches,
+                "tcp_segments": dict(self.tcp_segments),
+            },
+            "histograms": {
+                "gate_latency_cycles": {
+                    "%s->%s" % pair: histogram.to_dict()
+                    for pair, histogram in sorted(self.gate_latency.items())
+                },
+                "alloc_size_bytes": self.alloc_sizes.to_dict(),
+            },
+        }
+
+    def __repr__(self):
+        return "MetricsRegistry(%d crossings, %d faults)" % (
+            self.total_crossings(), sum(self.faults.values()),
+        )

@@ -1,0 +1,305 @@
+"""Structured tracing on the virtual clock.
+
+The tracer is the event firehose of the observability layer
+(:mod:`repro.obs`): every gate crossing, PKRU write, protection or
+injected fault, supervisor decision, allocator operation, scheduler
+context switch, and TCP segment can emit a :class:`TraceEvent` stamped
+with the virtual-cycle clock.  Aggregation lives in
+:class:`~repro.obs.metrics.MetricsRegistry` (the tracer feeds it as
+events arrive); rendering lives in :mod:`repro.obs.export`.
+
+Two invariants keep observation from perturbing the system:
+
+* **The tracer never touches the clock.**  Events read
+  ``clock.cycles``; they never ``charge()``.  Enabling tracing changes
+  no virtual-time measurement, which ``tests/test_obs.py`` asserts down
+  to the cycle.
+* **Disabled means one attribute check.**  Hook sites consult the
+  module-level :data:`ACTIVE` singleton and test ``.enabled`` once; with
+  the default :class:`NullTracer` installed that is the entire cost of
+  instrumentation.
+
+Install a tracer with :func:`install_tracer` / :func:`uninstall_tracer`,
+or scoped with the :func:`tracing` context manager (which nests: the
+previous tracer is restored on exit).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Event categories the exporters and tests key on.
+CATEGORIES = (
+    "gate",         # one cross-compartment crossing (a span)
+    "pkru",         # one PKRU register write
+    "fault",        # a protection or injected fault fired
+    "supervisor",   # one supervision decision
+    "alloc",        # one allocator operation
+    "sched",        # one scheduler context switch
+    "net",          # one TCP segment sent or received
+)
+
+
+class TraceEvent:
+    """One recorded event.
+
+    ``dur`` is ``None`` for instant events; spans (gate crossings) carry
+    their duration in virtual cycles.  ``args`` is a flat dict of
+    event-specific attributes, JSON-serialisable by construction.
+    """
+
+    __slots__ = ("name", "cat", "ts", "dur", "args")
+
+    def __init__(self, name, cat, ts, dur=None, args=None):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.args = args or {}
+
+    @property
+    def is_span(self):
+        return self.dur is not None
+
+    def __repr__(self):
+        span = " dur=%.0f" % self.dur if self.dur is not None else ""
+        return "TraceEvent(%s/%s ts=%.0f%s)" % (
+            self.cat, self.name, self.ts, span,
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    Hook sites check :attr:`enabled` once and skip the call entirely, so
+    the only cost of the instrumentation with tracing off is that single
+    attribute test — and, by the never-touch-the-clock invariant, zero
+    virtual cycles either way.
+    """
+
+    enabled = False
+    events = ()
+    metrics = None
+
+    def gate_begin(self, gate, ctx, library):
+        return None
+
+    def gate_end(self, token, ctx, status="ok"):
+        pass
+
+    def pkru_write(self, op, key):
+        pass
+
+    def fault(self, fault_type, **args):
+        pass
+
+    def supervision(self, compartment, action, fault_type, attempt, **args):
+        pass
+
+    def alloc_op(self, op, region, size, fast=None):
+        pass
+
+    def context_switch(self, previous, current):
+        pass
+
+    def tcp_segment(self, direction, flags, nbytes, port=None):
+        pass
+
+    def instant(self, name, cat, **args):
+        pass
+
+    def __repr__(self):
+        return "NullTracer()"
+
+
+#: The process-wide disabled singleton hook sites see by default.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records structured events; feeds the metrics registry as it goes.
+
+    Args:
+        clock: the :class:`~repro.hw.clock.Clock` events are stamped
+            with.  ``None`` stamps instant events at 0 (gate spans always
+            use the execution context's clock).
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry` to
+            aggregate into; a fresh one is created when omitted.
+        keep_events: set False to aggregate metrics only (long campaigns
+            that do not need the event stream).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, metrics=None, keep_events=True):
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.keep_events = keep_events
+        self.events = []
+        #: Open gate spans: [label, child_cycles_accumulator] entries.
+        self._stack = []
+
+    # -- internals -----------------------------------------------------------
+    def _now(self):
+        return self.clock.cycles if self.clock is not None else 0.0
+
+    def _record(self, event):
+        if self.keep_events:
+            self.events.append(event)
+
+    def instant(self, name, cat, **args):
+        """Record a free-form instant event (rarely needed directly)."""
+        self._record(TraceEvent(name, cat, self._now(), args=args))
+
+    # -- gate crossings (spans) ------------------------------------------------
+    def gate_begin(self, gate, ctx, library):
+        """Open a crossing span; returns a token for :meth:`gate_end`.
+
+        Called by :meth:`repro.core.gates.Gate._call_once` before the
+        domain switch; ``ctx.current_library`` still names the caller.
+        """
+        label = "%s->%s:%s" % (gate.src.name, gate.dst.name, library)
+        frame = [label, 0.0]
+        self._stack.append(frame)
+        return (gate, library, ctx.current_library, ctx.clock.cycles,
+                ctx.gate_depth, frame,
+                tuple(entry[0] for entry in self._stack))
+
+    def gate_end(self, token, ctx, status="ok"):
+        """Close a crossing span opened by :meth:`gate_begin`."""
+        gate, library, src_library, begin, depth, frame, stack = token
+        end = ctx.clock.cycles
+        duration = end - begin
+        if self._stack and self._stack[-1] is frame:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1][1] += duration
+        self_cycles = max(0.0, duration - frame[1])
+        self._record(TraceEvent(
+            frame[0], "gate", begin, dur=duration,
+            args={
+                "kind": gate.kind,
+                "src": gate.src.name,
+                "dst": gate.dst.name,
+                "src_comp": gate.src.index,
+                "dst_comp": gate.dst.index,
+                "library": library,
+                "src_library": src_library,
+                "depth": depth,
+                "one_way_cost": gate.one_way_cost(),
+                "status": status,
+                "self_cycles": self_cycles,
+                "stack": stack,
+            },
+        ))
+        self.metrics.record_gate(
+            gate.src.name, gate.dst.name, gate.src.index, gate.dst.index,
+            gate.kind, library, duration,
+        )
+
+    # -- instant hooks ----------------------------------------------------------
+    def pkru_write(self, op, key):
+        """One write to the PKRU register (``allow``/``deny``/``restore``)."""
+        self._record(TraceEvent(
+            "pkru-%s" % op, "pkru", self._now(),
+            args={"op": op, "key": key},
+        ))
+        self.metrics.record_pkru_write(op)
+
+    def fault(self, fault_type, **args):
+        """A protection or injected fault fired."""
+        self._record(TraceEvent(fault_type, "fault", self._now(), args=args))
+        self.metrics.record_fault(fault_type)
+
+    def supervision(self, compartment, action, fault_type, attempt, **args):
+        """The supervisor decided what one compartment fault becomes."""
+        args.update({"compartment": compartment, "fault": fault_type,
+                     "attempt": attempt})
+        self._record(TraceEvent(
+            "supervise-%s" % action, "supervisor", self._now(), args=args,
+        ))
+        self.metrics.record_supervision(action)
+
+    def alloc_op(self, op, region, size, fast=None):
+        """One allocator operation (``alloc``/``free``), fast or slow path."""
+        self._record(TraceEvent(
+            "%s-%s" % (op, "fast" if fast else "slow")
+            if op == "alloc" else op,
+            "alloc", self._now(),
+            args={"op": op, "region": region, "bytes": size, "fast": fast},
+        ))
+        self.metrics.record_alloc(op, region, size, fast)
+
+    def context_switch(self, previous, current):
+        """The scheduler dispatched a different thread."""
+        self._record(TraceEvent(
+            "switch", "sched", self._now(),
+            args={"from": previous, "to": current},
+        ))
+        self.metrics.record_context_switch()
+
+    def tcp_segment(self, direction, flags, nbytes, port=None):
+        """One TCP segment left (``tx``) or reached (``rx``) the stack."""
+        self._record(TraceEvent(
+            "tcp-%s" % direction, "net", self._now(),
+            args={"direction": direction, "flags": flags, "bytes": nbytes,
+                  "port": port},
+        ))
+        self.metrics.record_tcp_segment(direction)
+
+    # -- introspection ----------------------------------------------------------
+    def events_in(self, cat):
+        """All recorded events of one category."""
+        return [e for e in self.events if e.cat == cat]
+
+    def gate_pairs(self):
+        """Set of (src_comp, dst_comp) pairs with at least one span."""
+        return {
+            (e.args["src_comp"], e.args["dst_comp"])
+            for e in self.events if e.cat == "gate"
+        }
+
+    def __repr__(self):
+        return "Tracer(%d events)" % len(self.events)
+
+
+#: The tracer hook sites consult.  Swapped by :func:`install_tracer`;
+#: the default is the no-op singleton, so instrumentation costs one
+#: ``.enabled`` check until somebody opts in.
+ACTIVE = NULL_TRACER
+
+
+def install_tracer(tracer):
+    """Make ``tracer`` the active tracer; returns the previous one."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    return previous
+
+
+def uninstall_tracer():
+    """Reset to the disabled singleton; returns the previous tracer."""
+    return install_tracer(NULL_TRACER)
+
+
+def get_tracer():
+    """The currently active tracer (the null singleton when disabled)."""
+    return ACTIVE
+
+
+@contextmanager
+def tracing(tracer=None, clock=None):
+    """Scoped tracing: install for a block, restore the previous tracer.
+
+    Yields the installed :class:`Tracer` (a fresh one bound to ``clock``
+    when none is passed).  Nests: an inner ``tracing()`` block diverts
+    events to its own tracer and hands the outer one back on exit.
+    """
+    tracer = tracer if tracer is not None else Tracer(clock=clock)
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)

@@ -1,0 +1,373 @@
+"""Observability layer: tracer, metrics, exporters, CLI, retry ceiling.
+
+The two load-bearing invariants (module docstring of
+:mod:`repro.obs.tracer`) are pinned down to the cycle here:
+
+* tracing never perturbs the system — a traced functional run charges
+  exactly the same virtual cycles, does the same per-library work and
+  takes the same gate transitions as an untraced one;
+* with the default :class:`~repro.obs.NullTracer` installed the
+  instrumentation is invisible: zero virtual cycles, zero events.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.bench.functional import run_functional_redis
+from repro.cli import main as cli_main
+from repro.errors import AllocationError, TransientFault
+from repro.faults.campaign import (
+    CampaignConfig,
+    lwip_alloc_probe,
+    lwip_probe,
+    run_campaign,
+)
+from repro.faults.supervisor import Decision, Policy
+from repro.kernel.lib import entrypoint
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    flamegraph,
+    get_tracer,
+    install_tracer,
+    metrics_json,
+    tracing,
+    uninstall_tracer,
+)
+from tests.conftest import make_config
+from tests.test_faults import armed_instance, boot
+
+
+@entrypoint("lwip")
+def obs_probe(token=0):
+    """A well-behaved lwip entry used by the overhead tests."""
+    return token + 1
+
+
+class TestTracerLifecycle:
+    def test_null_tracer_is_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_install_and_uninstall(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            uninstall_tracer()
+        assert previous is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_nests_and_restores(self):
+        with tracing() as outer:
+            assert get_tracer() is outer
+            with tracing() as inner:
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+        assert get_tracer() is NULL_TRACER
+
+    def test_keep_events_false_still_aggregates(self):
+        instance = boot(make_config())
+        with tracing(Tracer(clock=instance.clock,
+                            keep_events=False)) as tracer:
+            with instance.run():
+                obs_probe(token=1)
+        assert tracer.events == []
+        assert tracer.metrics.total_crossings() == 1
+
+
+class TestZeroOverhead:
+    def test_disabled_tracer_costs_zero_virtual_cycles(self):
+        """Same instance, same call: cycles with the null tracer match
+        cycles with a live tracer exactly."""
+        instance = boot(make_config())
+        with instance.run():
+            obs_probe(token=0)  # warm any lazy state (stacks)
+            before = instance.clock.cycles
+            obs_probe(token=1)
+            untraced = instance.clock.cycles - before
+            with tracing(Tracer(clock=instance.clock)) as tracer:
+                before = instance.clock.cycles
+                obs_probe(token=2)
+                traced = instance.clock.cycles - before
+        assert untraced == traced
+        assert len(tracer.events_in("gate")) == 1
+
+    def test_tracing_does_not_perturb_functional_redis(self):
+        untraced = run_functional_redis("intel-mpk", n_requests=20)
+        traced = run_functional_redis("intel-mpk", n_requests=20,
+                                      trace=True)
+        assert traced.elapsed_cycles == untraced.elapsed_cycles
+        assert traced.ctx.work_by_library == untraced.ctx.work_by_library
+        assert traced.ctx.transitions == untraced.ctx.transitions
+
+
+class TestGateSpans:
+    def test_span_pairs_cover_every_transition(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        assert run.tracer.gate_pairs() == set(run.ctx.transitions)
+
+    def test_span_count_matches_transition_count(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        assert len(run.tracer.events_in("gate")) == \
+            sum(run.ctx.transitions.values())
+
+    def test_span_args_name_caller_and_callee(self):
+        instance = boot(make_config())
+        with instance.trace() as tracer, instance.run():
+            obs_probe(token=1)
+        (event,) = tracer.events_in("gate")
+        assert event.args["library"] == "lwip"   # callee micro-library
+        assert event.args["src_library"] is None  # called from app context
+        assert event.args["kind"] == "mpk-full"
+        assert event.args["status"] == "ok"
+        assert event.args["dst"] == "comp2"
+        assert event.dur > 0
+
+    def test_faulting_span_records_status(self):
+        instance, injector, _ = armed_instance()
+        lwip = instance.image.compartment_of("lwip").index
+        from repro.faults.injector import FaultSpec
+
+        injector.arm(FaultSpec("stray-read", dst=lwip))
+        with instance.trace() as tracer, instance.run():
+            with pytest.raises(Exception):
+                lwip_probe(token=1)
+        statuses = {e.args["status"] for e in tracer.events_in("gate")}
+        assert "ProtectionFault" in statuses
+        assert tracer.metrics.faults.get("ProtectionFault", 0) >= 1
+
+
+class TestMetricsInvariants:
+    def test_histogram_totals_equal_crossing_counters(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        metrics = run.tracer.metrics
+        assert metrics.gate_latency  # at least one pair observed
+        for (src, dst), histogram in metrics.gate_latency.items():
+            assert histogram.total == metrics.crossings_for_pair(src, dst)
+            assert histogram.total == sum(histogram.counts)
+        assert sum(h.total for h in metrics.gate_latency.values()) == \
+            metrics.total_crossings()
+
+    def test_snapshot_round_trips_and_sums(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        snapshot = json.loads(metrics_json(run.tracer.metrics))
+        crossings = snapshot["counters"]["gate_crossings"]
+        histograms = snapshot["histograms"]["gate_latency_cycles"]
+        for pair_label, histogram in histograms.items():
+            expected = sum(
+                count for label, count in crossings.items()
+                if label.rsplit("/", 1)[0] == pair_label
+            )
+            assert histogram["total"] == expected
+
+    def test_histogram_overflow_bucket(self):
+        histogram = Histogram((10.0, 20.0))
+        for value in (5.0, 15.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.total == 3
+        assert histogram.mean == pytest.approx(340.0)
+
+
+class TestExporters:
+    def test_chrome_trace_round_trips(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        payload = json.loads(chrome_trace_json(run.tracer))
+        assert payload["traceEvents"]
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {(e["args"]["src_comp"], e["args"]["dst_comp"])
+                for e in spans} == set(run.ctx.transitions)
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("X", "i")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_chrome_trace_timestamps_are_microseconds(self):
+        clock_less = Tracer()
+        clock_less.instant("x", "fault")
+        payload = chrome_trace(clock_less)
+        assert payload["traceEvents"][0]["ts"] == 0
+
+    def test_flamegraph_folds_by_stack(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        text = flamegraph(run.tracer)
+        assert text
+        total = 0
+        for line in text.splitlines():
+            path, _, cycles = line.rpartition(" ")
+            assert path  # "a;b;c cycles" shape
+            total += int(cycles)
+        spans = run.tracer.events_in("gate")
+        # Self-cycles across all paths sum to the root spans' durations.
+        roots = sum(e.dur for e in spans if e.args["depth"] == 0)
+        assert total == pytest.approx(roots, abs=len(spans))
+
+
+class TestInstantHooks:
+    def test_pkru_allocator_sched_net_events(self):
+        run = run_functional_redis("intel-mpk", n_requests=20, trace=True)
+        tracer = run.tracer
+        metrics = tracer.metrics
+        assert metrics.pkru_writes == len(tracer.events_in("pkru"))
+        assert metrics.pkru_writes > 0
+        assert metrics.context_switches == len(tracer.events_in("sched"))
+        assert metrics.context_switches > 0
+        assert metrics.tcp_segments["tx"] > 0
+        assert metrics.tcp_segments["rx"] > 0
+        assert metrics.tcp_segments["tx"] + metrics.tcp_segments["rx"] == \
+            len(tracer.events_in("net"))
+
+    def test_alloc_paths_counted(self):
+        instance = boot(make_config())
+        lwip = instance.image.compartment_of("lwip").index
+        heap = instance.memmgr.heap_of(lwip)
+        with instance.trace() as tracer, instance.run():
+            lwip_alloc_probe(heap)
+        metrics = tracer.metrics
+        assert metrics.alloc_fast + metrics.alloc_slow == 1
+        assert metrics.frees == 1
+        assert metrics.alloc_sizes.total == 1
+
+    def test_injected_faults_traced(self):
+        config = CampaignConfig(mechanism="intel-mpk", seed=3, n_faults=10)
+        with tracing(Tracer()) as tracer:
+            run_campaign(config)
+        injected = [name for name in tracer.metrics.faults
+                    if name.startswith("injected:")]
+        assert injected
+        assert tracer.metrics.supervision  # decisions were traced too
+
+
+class AlwaysRetryPolicy(Policy):
+    """Pathological policy: answers retry no matter what."""
+
+    name = "always-retry"
+
+    def decide(self, fault, attempt, supervisor, comp_index):
+        return Decision("retry", note="retry forever")
+
+
+class TestRetryCeiling:
+    def test_always_retry_policy_cannot_wedge_gate(self):
+        """Regression: a custom policy that never stops answering
+        ``retry`` used to spin Gate.call forever; the gate-level attempt
+        ceiling now converts to propagate."""
+        instance = boot(make_config())
+        instance.set_fault_policy("lwip", AlwaysRetryPolicy())
+        lwip = instance.image.compartment_of("lwip").index
+        heap = instance.memmgr.heap_of(lwip)
+        heap.fail_next(50)  # outlasts the ceiling; pre-fix: 50 replays
+        from repro.core.gates import Gate
+
+        with instance.trace() as tracer, instance.run():
+            with pytest.raises(AllocationError):
+                lwip_alloc_probe(heap)
+        attempts = [e for e in instance.supervisor.events
+                    if e.compartment == lwip]
+        assert len(attempts) == Gate.MAX_SUPERVISED_ATTEMPTS
+        ceiling = [e for e in tracer.events_in("supervisor")
+                   if e.name == "gate-retry-ceiling"]
+        assert len(ceiling) == 1
+        assert ceiling[0].args["attempts"] == Gate.MAX_SUPERVISED_ATTEMPTS
+        assert ceiling[0].args["fault"] == "AllocationError"
+
+    def test_builtin_retry_policy_unaffected_by_ceiling(self):
+        instance = boot(make_config())
+        instance.set_fault_policy("lwip", "retry")
+        lwip = instance.image.compartment_of("lwip").index
+        heap = instance.memmgr.heap_of(lwip)
+        heap.fail_next(2)
+        with instance.run():
+            assert lwip_alloc_probe(heap) == 64  # third attempt succeeds
+        actions = [e.action for e in instance.supervisor.events]
+        assert actions == ["retry", "retry"]
+
+    def test_retry_on_transient_entry(self):
+        instance = boot(make_config())
+        instance.set_fault_policy("lwip", AlwaysRetryPolicy())
+        calls = {"n": 0}
+
+        @entrypoint("lwip")
+        def flaky():
+            calls["n"] += 1
+            raise TransientFault("link", "always down")
+
+        with instance.run():
+            with pytest.raises(TransientFault):
+                flaky()
+        from repro.core.gates import Gate
+
+        assert calls["n"] == Gate.MAX_SUPERVISED_ATTEMPTS
+
+
+class TestCli:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = cli_main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_trace_command_writes_chrome_trace(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        flame_path = tmp_path / "flame.txt"
+        code, output = self.run_cli([
+            "trace", "redis", "--requests", "10",
+            "--out", str(trace_path), "--flamegraph", str(flame_path),
+        ])
+        assert code == 0
+        assert "gate spans" in output
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
+        assert flame_path.read_text().strip()
+
+    def test_metrics_command_writes_artifacts(self, tmp_path):
+        out_dir = tmp_path / "art"
+        code, output = self.run_cli([
+            "metrics", "sqlite", "--requests", "10",
+            "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        metrics = json.loads((out_dir / "metrics-sqlite.json").read_text())
+        assert metrics["app"] == "sqlite"
+        assert metrics["counters"]["gate_crossings"]
+        json.loads((out_dir / "trace-sqlite.json").read_text())
+
+    def test_metrics_command_prints_snapshot(self):
+        code, output = self.run_cli(["metrics", "redis",
+                                     "--requests", "10"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["n_requests"] == 10
+        assert payload["counters"]["tcp_segments"]["tx"] > 0
+
+    def test_tracer_uninstalled_after_cli_run(self):
+        self.run_cli(["metrics", "redis", "--requests", "10"])
+        assert get_tracer() is NULL_TRACER
+
+
+class TestCampaignTiming:
+    def test_records_carry_cycles(self):
+        config = CampaignConfig(mechanism="intel-mpk", seed=1, n_faults=10)
+        result = run_campaign(config)
+        assert all(r.cycles > 0 for r in result.records)
+        assert "cycles=" in result.records[0].line()
+        assert result.mean_cycles_per_fault() > 0
+
+    def test_timing_is_deterministic(self):
+        config = CampaignConfig(mechanism="intel-mpk", seed=5, n_faults=8)
+        first = run_campaign(config)
+        second = run_campaign(config)
+        assert [r.cycles for r in first.records] == \
+            [r.cycles for r in second.records]
+
+    def test_scorecard_shows_cycles_per_fault(self):
+        from repro.bench.containment import format_scorecard, run_scorecard
+
+        results = run_scorecard(seed=1, n_faults=6)
+        assert "cycles/fault" in format_scorecard(results)
