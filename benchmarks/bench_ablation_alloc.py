@@ -6,7 +6,7 @@ cycle cost under the same-size alloc/free churn an INSERT workload
 produces.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.bench import format_table
 from repro.hw.clock import Clock
 from repro.hw.costs import CostModel
@@ -48,7 +48,12 @@ def run_ablation():
 
 
 def test_ablation_allocators(benchmark):
-    rows = benchmark(run_ablation)
+    rows = run_recorded(
+        benchmark, "ablation_alloc", run_ablation,
+        summarize=lambda r: {"rows": list(r)},
+        config={"ablation": "alloc", "rounds": ROUNDS,
+                "sizes": list(SIZES)},
+    )
     text = format_table(
         rows, title="Ablation: TLSF vs Lea under same-size churn",
     )

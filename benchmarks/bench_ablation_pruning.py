@@ -7,7 +7,7 @@ returns the *same answer* as exhaustive measurement with fewer
 evaluations.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
@@ -41,7 +41,11 @@ def run_ablation():
 
 
 def test_ablation_pruning(benchmark):
-    rows = benchmark(run_ablation)
+    rows = run_recorded(
+        benchmark, "ablation_pruning", run_ablation,
+        summarize=lambda r: {"rows": list(r)},
+        config={"ablation": "pruning", "budgets": list(BUDGETS)},
+    )
     text = format_table(
         rows, title="Ablation: explorer pruning vs exhaustive labelling",
     )

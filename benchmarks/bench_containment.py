@@ -5,7 +5,7 @@ inject the same seeded fault plan under every backend and check that
 hardware isolation (MPK, EPT) contains what the ``none`` baseline leaks.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.bench.containment import (
     format_scorecard,
     run_scorecard,
@@ -18,9 +18,18 @@ N_FAULTS = 40
 
 
 def test_containment_scorecard(benchmark):
-    results = benchmark.pedantic(
-        run_scorecard, kwargs={"seed": SEED, "n_faults": N_FAULTS},
-        rounds=1, iterations=1,
+    results = run_recorded(
+        benchmark, "containment",
+        lambda: run_scorecard(seed=SEED, n_faults=N_FAULTS),
+        summarize=lambda rs: {
+            "backends": {
+                r.config.name: dict(r.counters(),
+                                    containment_rate=r.containment_rate())
+                for r in rs
+            },
+        },
+        config={"seed": SEED, "n_faults": N_FAULTS},
+        pedantic={"rounds": 1, "iterations": 1},
     )
     text = format_scorecard(results)
     write_result("containment", text)

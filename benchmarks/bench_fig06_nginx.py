@@ -1,6 +1,6 @@
 """Figure 6 (bottom): Nginx HTTP throughput over the 80-config sweep."""
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.nginx import NGINX_HTTP_PROFILE
 from repro.bench import Wayfinder, format_table
@@ -21,7 +21,15 @@ def run_sweep():
 
 
 def test_fig06_nginx_sweep(benchmark):
-    result = benchmark(run_sweep)
+    result = run_recorded(
+        benchmark, "fig06_nginx", run_sweep,
+        summarize=lambda r: {
+            "requests_per_second": {name: value for name, value, _
+                                    in r.rows()},
+        },
+        config={"figure": "fig06", "app": "nginx", "space": "fig6",
+                "metric": "HTTP requests/s"},
+    )
     rows = [
         {"configuration": name, "kreq/s": "%.0f" % (value / 1e3)}
         for name, value, _ in result.rows()

@@ -4,7 +4,7 @@ Components: TCP/IP stack, libc, scheduler, application; compartments 1-3;
 per-component hardening toggled; isolation fixed to MPK with DSS.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import Wayfinder, format_table
@@ -25,7 +25,15 @@ def run_sweep():
 
 
 def test_fig06_redis_sweep(benchmark):
-    result = benchmark(run_sweep)
+    result = run_recorded(
+        benchmark, "fig06_redis", run_sweep,
+        summarize=lambda r: {
+            "requests_per_second": {name: value for name, value, _
+                                    in r.rows()},
+        },
+        config={"figure": "fig06", "app": "redis", "space": "fig6",
+                "metric": "GET requests/s"},
+    )
     rows = [
         {"configuration": name, "kreq/s": "%.0f" % (value / 1e3)}
         for name, value, _ in result.rows()

@@ -6,7 +6,7 @@ the diagonal is the figure's message — the same safety configuration
 slows the two applications unevenly.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.nginx import NGINX_HTTP_PROFILE
 from repro.apps.redis import REDIS_GET_PROFILE
@@ -33,7 +33,14 @@ def run_comparison():
 
 
 def test_fig07_normalized_scatter(benchmark):
-    points = benchmark(run_comparison)
+    points = run_recorded(
+        benchmark, "fig07", run_comparison,
+        summarize=lambda pts: {
+            "normalized": {name: {"redis": r, "nginx": n}
+                           for name, r, n in pts},
+        },
+        config={"figure": "fig07", "space": "fig6"},
+    )
     rows = [
         {"configuration": name,
          "redis (norm)": "%.3f" % r,

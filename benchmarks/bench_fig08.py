@@ -5,7 +5,7 @@ Fig. 6 Redis dataset, label it with performance, and star the safest
 configurations sustaining >= 500K requests/s.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
@@ -25,8 +25,19 @@ def run_exploration():
     return explore(generate_fig6_space(), measure, budget=BUDGET)
 
 
+def _summarize(result):
+    return {
+        "summary": result.summary(),
+        "recommended": {name: result.measurements[name]
+                        for name in result.recommended},
+    }
+
+
 def test_fig08_partial_safety_ordering(benchmark):
-    result = benchmark(run_exploration)
+    result = run_recorded(
+        benchmark, "fig08", run_exploration, summarize=_summarize,
+        config={"figure": "fig08", "app": "redis", "budget": BUDGET},
+    )
     poset = result.poset
 
     rows = [{

@@ -6,7 +6,7 @@ the iPerf application in one compartment and the rest of the system
 (including the network stack) in another.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.iperf import FIG9_BUFFER_SIZES, FIG9_SETUPS, throughput_gbps
 from repro.bench import format_series
 from repro.hw.costs import DEFAULT_COSTS
@@ -23,7 +23,16 @@ def run_series():
 
 
 def test_fig09_iperf_batching(benchmark):
-    series = benchmark(run_series)
+    series = run_recorded(
+        benchmark, "fig09_iperf", run_series,
+        summarize=lambda s: {
+            "gbps": {setup: {str(size): gbps for size, gbps in points}
+                     for setup, points in s.items()},
+        },
+        config={"figure": "fig09",
+                "buffer_sizes": list(FIG9_BUFFER_SIZES),
+                "setups": list(FIG9_SETUPS)},
+    )
     text = format_series(
         series, x_label="buffer (B)",
         title="Figure 9: iPerf throughput (Gb/s) vs recv buffer size",

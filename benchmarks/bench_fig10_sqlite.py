@@ -4,7 +4,7 @@ Bars: Unikraft (KVM + linuxu baselines), FlexOS (no isolation, MPK3,
 EPT2), Linux, SeL4/Genode, CubicleOS (none, PT2, PT3).
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import ComponentLayout, evaluate_profile
 from repro.apps.sqlite import SQLITE_INSERT_PROFILE
 from repro.baselines import (
@@ -57,7 +57,11 @@ def run_comparison():
 
 
 def test_fig10_sqlite_inserts(benchmark):
-    results = benchmark(run_comparison)
+    results = run_recorded(
+        benchmark, "fig10_sqlite", run_comparison,
+        summarize=lambda r: {"seconds": dict(r)},
+        config={"figure": "fig10", "n_inserts": N_INSERTS},
+    )
     base = results["unikraft (kvm)"]
     rows = [
         {"system": name,

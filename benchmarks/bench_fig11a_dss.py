@@ -6,7 +6,7 @@ DSS, and heap conversion.  Run against the real allocators and DSS
 implementation on a booted machine.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.bench import format_series
 from repro.core.dss import DataShadowStack
 from repro.core.sharing import SharingStrategy
@@ -53,7 +53,15 @@ def run_microbenchmark():
 
 
 def test_fig11a_stack_allocations(benchmark):
-    series = benchmark(run_microbenchmark)
+    series = run_recorded(
+        benchmark, "fig11a_dss", run_microbenchmark,
+        summarize=lambda s: {
+            "cycles": {kind: {str(n): cycles for n, cycles in points}
+                       for kind, points in s.items()},
+        },
+        config={"figure": "fig11a", "strategies": list(STRATEGIES),
+                "var_counts": list(VAR_COUNTS)},
+    )
     text = format_series(
         series, x_label="# shared vars",
         title="Figure 11a: cycles to allocate shared stack variables",

@@ -5,7 +5,7 @@ RPC gates, and Linux syscalls with/without KPTI — measured by running the
 actual gate objects on the virtual clock.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.bench import format_table
 from repro.core.config import CompartmentSpec
 from repro.core.gates import (
@@ -73,7 +73,11 @@ def run_latencies():
 
 
 def test_fig11b_gate_latencies(benchmark):
-    latencies = benchmark(run_latencies)
+    latencies = run_recorded(
+        benchmark, "fig11b_gates", run_latencies,
+        summarize=lambda lat: {"round_trip_cycles": dict(lat)},
+        config={"figure": "fig11b", "rounds": ROUNDS},
+    )
     costs = CostModel.xeon_4114()
     clock = Clock()
     rows = [

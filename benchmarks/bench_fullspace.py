@@ -8,7 +8,7 @@ where the paper claims it: the bigger the space, the larger the fraction
 pruned without measurement — and the certificate still verifies.
 """
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
@@ -34,7 +34,15 @@ def run_full_exploration():
 
 
 def test_full_space_exploration(benchmark):
-    result, certificate = benchmark(run_full_exploration)
+    result, certificate = run_recorded(
+        benchmark, "fullspace", run_full_exploration,
+        summarize=lambda pair: {
+            "summary": pair[0].summary(),
+            "recommended": len(pair[0].recommended),
+            "certificate_valid": pair[1].valid,
+        },
+        config={"extension": "fullspace", "budget": BUDGET},
+    )
     summary = result.summary()
     rows = [{
         "space": "full (14 partitions x 2^4)",

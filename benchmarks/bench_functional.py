@@ -31,13 +31,16 @@ def _snapshot_point(run):
 
 def _dump_traced_snapshots(app, runner):
     """Re-run each posture traced and persist the metrics snapshots."""
-    write_metrics("functional_%s" % app, {
-        "app": app,
-        "points": [
-            _snapshot_point(runner(mechanism, trace=True))
-            for mechanism in MECHANISMS
-        ],
-    })
+    points = [
+        _snapshot_point(runner(mechanism, trace=True))
+        for mechanism in MECHANISMS
+    ]
+    write_metrics(
+        "functional_%s" % app,
+        {"app": app, "points": points},
+        config={"app": app, "mechanisms": list(MECHANISMS),
+                "n_requests": points[0]["n_requests"]},
+    )
 
 
 def test_functional_redis_isolation_tax(benchmark):

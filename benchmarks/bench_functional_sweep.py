@@ -8,7 +8,7 @@ validity argument for using profile mode in the 80-configuration sweeps.
 
 import pytest
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.apps.base import evaluate_profile
 from repro.apps.host import HostEndpoint
 from repro.apps.redis import REDIS_GET_PROFILE, RedisApp, redis_benchmark_client
@@ -88,7 +88,17 @@ def run_sweep():
 
 
 def test_functional_mini_sweep(benchmark):
-    functional = benchmark(run_sweep)
+    functional = run_recorded(
+        benchmark, "functional_sweep", run_sweep,
+        summarize=lambda f: {
+            "functional_cycles_per_request": dict(f),
+            "analytic_cycles_per_request": {
+                name: analytic_cycles(name) for name, _, _ in SCENARIOS
+            },
+        },
+        config={"n_requests": N_REQUESTS,
+                "scenarios": [name for name, _, _ in SCENARIOS]},
+    )
     rows = []
     for name, _, _ in SCENARIOS:
         rows.append({

@@ -1,12 +1,16 @@
 """Table 1: porting effort — patch sizes and shared-variable counts."""
 
-from benchmarks.common import write_result
+from benchmarks.common import run_recorded, write_result
 from repro.bench import format_table
 from repro.porting import porting_effort_table
 
 
 def test_table1_porting_effort(benchmark):
-    rows = benchmark(porting_effort_table)
+    rows = run_recorded(
+        benchmark, "table1", porting_effort_table,
+        summarize=lambda r: {"rows": list(r)},
+        config={"table": "table1"},
+    )
     text = format_table(
         rows,
         title="Table 1: porting effort (paper columns + this repro)",

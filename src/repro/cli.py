@@ -263,6 +263,50 @@ def cmd_metrics(args, out):
     return 0
 
 
+def cmd_obs_report(args, out):
+    """Traced functional run -> critical path + crossing matrix report."""
+    import json
+
+    from repro.obs import analyze
+
+    run = _traced_run(args)
+    analysis = analyze(run.tracer, headline={
+        "app": run.app,
+        "mechanism": run.mechanism,
+        "requests": run.n_requests,
+        "cycles/request": "%.0f" % run.cycles_per_request,
+    })
+    if args.json:
+        out.write(json.dumps(analysis.to_dict(args.top), indent=1,
+                             sort_keys=True) + "\n")
+    else:
+        out.write(analysis.to_text(top_k=args.top) + "\n")
+    return 0
+
+
+def cmd_obs_diff(args, out):
+    """Per-metric deltas between two BENCH_*.json snapshots."""
+    from repro.obs import diff_snapshots, load_snapshot
+
+    baseline = load_snapshot(args.baseline_snapshot)
+    current = load_snapshot(args.current_snapshot)
+    diff = diff_snapshots(baseline, current,
+                          baseline_label=args.baseline_snapshot,
+                          current_label=args.current_snapshot)
+    out.write(diff.to_text(include_unchanged=args.all) + "\n")
+    return 0
+
+
+def cmd_obs_check(args, out):
+    """The perf gate: check current snapshots against the baselines."""
+    from repro.obs import check_baselines
+
+    report = check_baselines(args.results, args.baseline,
+                             allow=args.allow or ())
+    out.write(report.to_text() + "\n")
+    return 0 if report.ok else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexos-repro",
@@ -383,6 +427,49 @@ def build_parser():
                            help="write metrics-<app>.json and "
                                 "trace-<app>.json here instead of stdout")
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_obs = sub.add_parser(
+        "obs", help="trace analytics and the perf-regression gate",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_oreport = obs_sub.add_parser(
+        "report", help="critical path, crossing matrix and library "
+                       "attribution for one traced functional run",
+    )
+    add_functional_args(p_oreport)
+    p_oreport.add_argument("--top", type=int, default=10,
+                           help="gate pairs / libraries to show")
+    p_oreport.add_argument("--json", action="store_true",
+                           help="emit the analysis as JSON")
+    p_oreport.set_defaults(func=cmd_obs_report)
+
+    p_odiff = obs_sub.add_parser(
+        "diff", help="per-metric deltas between two BENCH_*.json "
+                     "snapshots of the same benchmark",
+    )
+    p_odiff.add_argument("baseline_snapshot", help="older snapshot")
+    p_odiff.add_argument("current_snapshot", help="newer snapshot")
+    p_odiff.add_argument("--all", action="store_true",
+                         help="also list unchanged metrics")
+    p_odiff.set_defaults(func=cmd_obs_diff)
+
+    p_ocheck = obs_sub.add_parser(
+        "check", help="perf gate: fail on unexplained metric changes "
+                      "against the committed baselines",
+    )
+    p_ocheck.add_argument("--results", default="benchmarks/results",
+                          metavar="DIR",
+                          help="freshly generated snapshots")
+    p_ocheck.add_argument("--baseline",
+                          default="benchmarks/results/baselines",
+                          metavar="DIR", help="committed baselines")
+    p_ocheck.add_argument("--allow", action="append", default=[],
+                          metavar="PATTERN",
+                          help="bless metrics matching this fnmatch "
+                               "pattern (repeatable); merged with the "
+                               "baseline directory's allowlist.json")
+    p_ocheck.set_defaults(func=cmd_obs_check)
 
     return parser
 

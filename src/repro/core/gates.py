@@ -35,6 +35,7 @@ from repro.errors import (
     IagoViolation,
     ReproError,
 )
+from repro.hw.ept import record_space_switch
 from repro.hw.memory import AccessType, MemoryObject
 from repro.obs import tracer as obs
 
@@ -303,11 +304,13 @@ class EptRpcGate(Gate):
                               symbol="rpc-descriptor")
         state = ctx.address_space
         ctx.address_space = self.dst.address_space
+        record_space_switch(state, ctx.address_space, "call")
         return state
 
     def _leave(self, ctx, state):
         # Return value travels back through the shared window.
         ctx.clock.charge(8 * self.costs.memcpy_per_byte)
+        record_space_switch(ctx.address_space, state, "return")
         ctx.address_space = state
 
 

@@ -9,6 +9,23 @@ every participating VM (so pointers into shared structures stay valid).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.obs import tracer as obs
+
+
+def record_space_switch(previous, current, direction):
+    """Trace one cross-VM address-space switch (hook for the RPC gates).
+
+    The EPT analogue of the MPK backend's PKRU-write events: every RPC
+    crossing moves the execution context into the callee VM's address
+    space (``direction="call"``) and back (``direction="return"``).
+    """
+    tracer = obs.ACTIVE
+    if tracer.enabled:
+        tracer.space_switch(
+            previous.name if previous is not None else None,
+            current.name if current is not None else None,
+            direction,
+        )
 
 
 class AddressSpace:
@@ -62,8 +79,12 @@ class SharedWindow:
         """Bump-allocate ``size`` bytes from a VM's slice; returns offset."""
         entry = self._slices[space_name]
         start, limit, cursor = entry
-        if cursor + size > limit:
+        wrapped = cursor + size > limit
+        if wrapped:
             # Wrap around: the RPC protocol recycles its message area.
             cursor = start
         entry[2] = cursor + size
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.window_alloc(space_name, size, cursor, wrapped)
         return cursor

@@ -14,6 +14,7 @@ import itertools
 
 from repro.errors import FsError
 from repro.kernel.lib import entrypoint, work
+from repro.obs import tracer as obs
 
 _INO = itertools.count(2)  # inode 1 is the root
 
@@ -50,15 +51,18 @@ class RamFs:
             return 0
         return self.time.monotonic_ns()
 
-    def _charge(self):
+    def _charge(self, op):
         self.ops += 1
         work(self.costs.ramfs_op)
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.fs_op("ramfs", op)
 
     # -- driver operations ----------------------------------------------------
     @entrypoint("ramfs")
     def lookup(self, dir_inode, name):
         """Find ``name`` in a directory inode; raises ENOENT if missing."""
-        self._charge()
+        self._charge("lookup")
         if not dir_inode.is_dir:
             raise FsError(errno.ENOTDIR, "%r is not a directory" % name)
         child = dir_inode.children.get(name)
@@ -68,7 +72,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def create(self, dir_inode, name, is_dir=False):
-        self._charge()
+        self._charge("create")
         if name in dir_inode.children:
             raise FsError(errno.EEXIST, "entry %r exists" % name)
         inode = Inode(next(_INO), is_dir)
@@ -80,7 +84,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def unlink(self, dir_inode, name):
-        self._charge()
+        self._charge("unlink")
         inode = self.lookup(dir_inode, name)
         if inode.is_dir and inode.children:
             raise FsError(errno.ENOTEMPTY, "directory %r not empty" % name)
@@ -90,7 +94,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def read(self, inode, offset, length):
-        self._charge()
+        self._charge("read")
         if inode.is_dir:
             raise FsError(errno.EISDIR, "read of a directory")
         data = bytes(inode.data[offset:offset + length])
@@ -99,7 +103,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def write(self, inode, offset, payload):
-        self._charge()
+        self._charge("write")
         if inode.is_dir:
             raise FsError(errno.EISDIR, "write to a directory")
         end = offset + len(payload)
@@ -113,7 +117,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def truncate(self, inode, size):
-        self._charge()
+        self._charge("truncate")
         if inode.is_dir:
             raise FsError(errno.EISDIR, "truncate of a directory")
         if size < len(inode.data):
@@ -125,7 +129,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def getattr(self, inode):
-        self._charge()
+        self._charge("getattr")
         return {
             "ino": inode.ino,
             "is_dir": inode.is_dir,
@@ -136,7 +140,7 @@ class RamFs:
 
     @entrypoint("ramfs")
     def readdir(self, inode):
-        self._charge()
+        self._charge("readdir")
         if not inode.is_dir:
             raise FsError(errno.ENOTDIR, "readdir of a file")
         return sorted(inode.children)

@@ -12,6 +12,7 @@ import errno
 
 from repro.errors import FsError
 from repro.kernel.lib import entrypoint, work
+from repro.obs import tracer as obs
 
 O_RDONLY = 0x0
 O_WRONLY = 0x1
@@ -57,9 +58,12 @@ class Vfs:
         self.syncs = 0
 
     # -- path handling -----------------------------------------------------------
-    def _charge(self):
+    def _charge(self, op):
         self.ops += 1
         work(self.costs.vfs_op)
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.fs_op("vfscore", op)
 
     def _resolve_dir(self, path):
         """Resolve the parent directory of ``path``; returns (dir, name)."""
@@ -81,7 +85,7 @@ class Vfs:
     @entrypoint("vfscore")
     def open(self, path, flags=O_RDONLY):
         """Open ``path``; returns an integer file descriptor."""
-        self._charge()
+        self._charge("open")
         parent, name = self._resolve_dir(path)
         try:
             inode = self.driver.lookup(parent, name)
@@ -109,7 +113,7 @@ class Vfs:
 
     @entrypoint("vfscore")
     def read(self, fd, length):
-        self._charge()
+        self._charge("read")
         handle = self._handle(fd)
         if not handle.readable:
             raise FsError(errno.EBADF, "fd %d not open for reading" % fd)
@@ -119,7 +123,7 @@ class Vfs:
 
     @entrypoint("vfscore")
     def write(self, fd, payload):
-        self._charge()
+        self._charge("write")
         handle = self._handle(fd)
         if not handle.writable:
             raise FsError(errno.EBADF, "fd %d not open for writing" % fd)
@@ -131,7 +135,7 @@ class Vfs:
 
     @entrypoint("vfscore")
     def lseek(self, fd, offset, whence=SEEK_SET):
-        self._charge()
+        self._charge("lseek")
         handle = self._handle(fd)
         if whence == SEEK_SET:
             new = offset
@@ -151,7 +155,7 @@ class Vfs:
         """Flush a file.  ramfs has no backing store, but the journal
         protocol's ordering point is still charged (it is a real barrier
         on the paper's testbed)."""
-        self._charge()
+        self._charge("fsync")
         self._handle(fd)
         self.syncs += 1
         work(self.costs.vfs_op)
@@ -159,41 +163,41 @@ class Vfs:
 
     @entrypoint("vfscore")
     def close(self, fd):
-        self._charge()
+        self._charge("close")
         self._handle(fd)
         del self._fds[fd]
         return 0
 
     @entrypoint("vfscore")
     def unlink(self, path):
-        self._charge()
+        self._charge("unlink")
         parent, name = self._resolve_dir(path)
         self.driver.unlink(parent, name)
         return 0
 
     @entrypoint("vfscore")
     def mkdir(self, path):
-        self._charge()
+        self._charge("mkdir")
         parent, name = self._resolve_dir(path)
         self.driver.create(parent, name, is_dir=True)
         return 0
 
     @entrypoint("vfscore")
     def stat(self, path):
-        self._charge()
+        self._charge("stat")
         inode = self._resolve(path)
         return self.driver.getattr(inode)
 
     @entrypoint("vfscore")
     def listdir(self, path="/"):
-        self._charge()
+        self._charge("listdir")
         if path == "/":
             return self.driver.readdir(self.driver.root)
         return self.driver.readdir(self._resolve(path))
 
     @entrypoint("vfscore")
     def exists(self, path):
-        self._charge()
+        self._charge("exists")
         try:
             self._resolve(path)
             return True

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import SchedulerError
 from repro.kernel.lib import entrypoint, work
+from repro.obs import tracer as obs
 
 
 class InterruptController:
@@ -38,5 +39,8 @@ class InterruptController:
             raise SchedulerError("unhandled interrupt line %d" % line)
         work(self.costs.irq_entry)
         self.delivered += 1
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.irq(line, len(handlers))
         for handler in handlers:
             handler(payload)

@@ -27,6 +27,14 @@ Or from the CLI: ``flexos-repro trace redis`` / ``flexos-repro metrics
 redis``.  See ``docs/observability.md``.
 """
 
+from repro.obs.analysis import (
+    TraceAnalysis,
+    analyze,
+    critical_path,
+    crossing_matrix,
+    library_attribution,
+    request_chains,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
@@ -34,6 +42,15 @@ from repro.obs.export import (
     metrics_json,
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.regress import (
+    SNAPSHOT_SCHEMA_VERSION,
+    check_baselines,
+    check_snapshot,
+    config_digest,
+    diff_snapshots,
+    flatten_metrics,
+    load_snapshot,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -47,17 +64,30 @@ from repro.obs.tracer import (
 
 __all__ = [
     "NULL_TRACER",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "TraceAnalysis",
     "TraceEvent",
     "Tracer",
+    "analyze",
+    "check_baselines",
+    "check_snapshot",
     "chrome_trace",
     "chrome_trace_json",
+    "config_digest",
+    "critical_path",
+    "crossing_matrix",
+    "diff_snapshots",
     "flamegraph",
+    "flatten_metrics",
     "get_tracer",
     "install_tracer",
+    "library_attribution",
+    "load_snapshot",
     "metrics_json",
+    "request_chains",
     "tracing",
     "uninstall_tracer",
 ]

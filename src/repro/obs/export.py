@@ -65,18 +65,31 @@ def chrome_trace_json(tracer, pid=1):
     return json.dumps(chrome_trace(tracer, pid=pid), indent=1)
 
 
+def _escape_frame(frame):
+    """Escape the folded-stack separator inside one frame label.
+
+    ``;`` delimits frames in the folded format, and compartment or
+    micro-library names are free to contain it (they come straight from
+    the safety configuration).  Substitute ``%3b`` (no un-escaping
+    exists in the format, so the substitution must not itself contain
+    ``;``); ``%`` is escaped first so the encoding stays injective.
+    """
+    return frame.replace("%", "%25").replace(";", "%3b")
+
+
 def flamegraph(tracer):
     """Folded-stack text of the gated call stacks.
 
     One line per distinct stack path, weighted by self-cycles (span
     duration minus time spent in nested crossings), so the rendered
     flamegraph's widths are virtual cycles spent at that exact depth.
+    Frame labels containing the ``;`` separator are escaped to ``%3b``.
     """
     folded = {}
     for event in tracer.events:
         if event.cat != "gate":
             continue
-        path = ";".join(event.args["stack"])
+        path = ";".join(_escape_frame(f) for f in event.args["stack"])
         folded[path] = folded.get(path, 0.0) + event.args["self_cycles"]
     return "\n".join(
         "%s %d" % (path, round(cycles))

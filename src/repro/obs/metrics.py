@@ -96,6 +96,16 @@ class MetricsRegistry:
         self.context_switches = 0
         #: "tx"/"rx" -> segments.
         self.tcp_segments = {"tx": 0, "rx": 0}
+        #: EPT backend: cross-VM address-space switches.
+        self.space_switches = 0
+        #: EPT backend: shared-window descriptor allocations.
+        self.window_allocs = 0
+        self.window_bytes = 0.0
+        self.window_wraps = 0
+        #: interrupt line -> deliveries.
+        self.irqs = {}
+        #: "layer.op" (e.g. "vfscore.open") -> operations.
+        self.fs_ops = {}
 
     # -- recording hooks (called by the Tracer) --------------------------------
     def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
@@ -140,6 +150,22 @@ class MetricsRegistry:
     def record_tcp_segment(self, direction):
         self.tcp_segments[direction] = self.tcp_segments.get(direction, 0) + 1
 
+    def record_space_switch(self):
+        self.space_switches += 1
+
+    def record_window_alloc(self, nbytes, wrapped):
+        self.window_allocs += 1
+        self.window_bytes += nbytes
+        if wrapped:
+            self.window_wraps += 1
+
+    def record_irq(self, line):
+        self.irqs[line] = self.irqs.get(line, 0) + 1
+
+    def record_fs_op(self, layer, op):
+        key = "%s.%s" % (layer, op)
+        self.fs_ops[key] = self.fs_ops.get(key, 0) + 1
+
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):
         return sum(self.gate_crossings.values())
@@ -179,6 +205,17 @@ class MetricsRegistry:
                 ),
                 "context_switches": self.context_switches,
                 "tcp_segments": dict(self.tcp_segments),
+                "address_space_switches": self.space_switches,
+                "shared_window": {
+                    "allocs": self.window_allocs,
+                    "bytes": self.window_bytes,
+                    "wraps": self.window_wraps,
+                },
+                "irqs": {
+                    "line-%d" % line: count
+                    for line, count in sorted(self.irqs.items())
+                },
+                "fs_ops": dict(sorted(self.fs_ops.items())),
             },
             "histograms": {
                 "gate_latency_cycles": {

@@ -39,6 +39,9 @@ CATEGORIES = (
     "alloc",        # one allocator operation
     "sched",        # one scheduler context switch
     "net",          # one TCP segment sent or received
+    "ept",          # one address-space switch or shared-window RPC alloc
+    "irq",          # one interrupt delivery
+    "fs",           # one VFS/ramfs operation
 )
 
 
@@ -105,6 +108,18 @@ class NullTracer:
         pass
 
     def tcp_segment(self, direction, flags, nbytes, port=None):
+        pass
+
+    def space_switch(self, previous, current, direction):
+        pass
+
+    def window_alloc(self, space, nbytes, offset, wrapped):
+        pass
+
+    def irq(self, line, handlers):
+        pass
+
+    def fs_op(self, layer, op):
         pass
 
     def instant(self, name, cat, **args):
@@ -248,6 +263,39 @@ class Tracer:
                   "port": port},
         ))
         self.metrics.record_tcp_segment(direction)
+
+    def space_switch(self, previous, current, direction):
+        """The execution context moved to another VM's address space."""
+        self._record(TraceEvent(
+            "as-switch", "ept", self._now(),
+            args={"from": previous, "to": current, "direction": direction},
+        ))
+        self.metrics.record_space_switch()
+
+    def window_alloc(self, space, nbytes, offset, wrapped):
+        """One descriptor allocation in the inter-VM shared window."""
+        self._record(TraceEvent(
+            "ivshmem-alloc", "ept", self._now(),
+            args={"space": space, "bytes": nbytes, "offset": offset,
+                  "wrapped": wrapped},
+        ))
+        self.metrics.record_window_alloc(nbytes, wrapped)
+
+    def irq(self, line, handlers):
+        """One interrupt delivered through the first-level handler."""
+        self._record(TraceEvent(
+            "irq-%d" % line, "irq", self._now(),
+            args={"line": line, "handlers": handlers},
+        ))
+        self.metrics.record_irq(line)
+
+    def fs_op(self, layer, op):
+        """One filesystem operation (``vfscore`` or ``ramfs`` layer)."""
+        self._record(TraceEvent(
+            "%s-%s" % (layer, op), "fs", self._now(),
+            args={"layer": layer, "op": op},
+        ))
+        self.metrics.record_fs_op(layer, op)
 
     # -- introspection ----------------------------------------------------------
     def events_in(self, cat):

@@ -1,0 +1,316 @@
+"""Trace analytics: critical path, crossing matrix, chains, new hooks.
+
+The headline invariant: critical-path attribution *partitions* gate
+time.  Every span's self-cycles (duration minus nested crossings) is
+booked to exactly one ``src->dst`` pair, so the per-pair cycles sum to
+the root spans' total duration — checked here to well within the 1%
+acceptance bound (it is exact up to float rounding).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.functional import run_functional_redis, run_functional_sqlite
+from repro.errors import AllocationError, ReproError
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.kernel.irq import InterruptController
+from repro.kernel.lib import entrypoint
+from repro.obs import (
+    TraceEvent,
+    Tracer,
+    analyze,
+    critical_path,
+    crossing_matrix,
+    flamegraph,
+    library_attribution,
+    request_chains,
+    tracing,
+)
+from repro.obs.analysis import gate_spans
+from tests.conftest import make_config
+from tests.test_faults import boot
+from tests.test_obs import AlwaysRetryPolicy, lwip_alloc_probe
+
+
+@pytest.fixture(scope="module")
+def redis_run():
+    return run_functional_redis("intel-mpk", n_requests=20, trace=True)
+
+
+@entrypoint("uksched")
+def chained_inner():
+    return 1
+
+
+@entrypoint("lwip")
+def chained_outer():
+    return chained_inner() + 1
+
+
+class TestCriticalPath:
+    def test_pair_cycles_sum_to_total_gate_cycles(self, redis_run):
+        """The acceptance bound: per-pair cycles sum to within 1% of the
+        total gate cycles (exactly, in fact — the attribution is a
+        partition of the root spans' durations)."""
+        spans = gate_spans(redis_run.tracer)
+        path = critical_path(spans)
+        attributed = sum(entry.cycles for entry in path.entries)
+        roots = sum(e.dur for e in spans if e.args["depth"] == 0)
+        assert path.total_gate_cycles == pytest.approx(attributed)
+        assert attributed == pytest.approx(roots, rel=0.01)
+        assert attributed == pytest.approx(roots)  # exact, not just 1%
+
+    def test_entries_ranked_by_attributed_cycles(self, redis_run):
+        path = critical_path(gate_spans(redis_run.tracer))
+        cycles = [entry.cycles for entry in path.entries]
+        assert cycles == sorted(cycles, reverse=True)
+        assert path.top(1) == path.entries[:1]
+
+    def test_shares_sum_to_one(self, redis_run):
+        path = critical_path(gate_spans(redis_run.tracer))
+        shares = [entry.to_dict(path.total_gate_cycles)["share"]
+                  for entry in path.entries]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_text_and_dict_render(self, redis_run):
+        analysis = analyze(redis_run.tracer,
+                           headline={"app": "redis"})
+        text = analysis.to_text()
+        assert "critical path" in text
+        assert "crossing matrix" in text
+        payload = analysis.to_dict()
+        json.dumps(payload)  # JSON-serialisable end to end
+        assert payload["critical_path"]["pairs"]
+
+    def test_requires_kept_events(self):
+        tracer = Tracer(keep_events=False)
+        with pytest.raises(ReproError):
+            gate_spans(tracer)
+
+
+class TestRequestChains:
+    def test_one_chain_per_root_span(self, redis_run):
+        spans = gate_spans(redis_run.tracer)
+        chains = request_chains(spans)
+        roots = [e for e in spans if e.args["depth"] == 0]
+        assert len(chains) == len(roots)
+        assert sum(len(c.spans) for c in chains) == len(spans)
+
+    def test_chain_cycles_are_root_durations(self, redis_run):
+        spans = gate_spans(redis_run.tracer)
+        chains = request_chains(spans)
+        assert sum(c.cycles for c in chains) == pytest.approx(
+            sum(e.dur for e in spans if e.args["depth"] == 0)
+        )
+
+    def test_nested_spans_claimed_by_enclosing_root(self):
+        """A crossing that itself crosses again (lwip -> uksched here)
+        nests inside the root span and belongs to its chain."""
+        instance = boot(make_config(isolate=("lwip", "uksched"),
+                                    n_extra=2))
+        with instance.trace() as tracer, instance.run():
+            assert chained_outer() == 2
+            assert chained_outer() == 2
+        chains = request_chains(gate_spans(tracer))
+        assert len(chains) == 2
+        for chain in chains:
+            assert len(chain.nested) == 1
+            assert chain.depth == 2
+            (span,) = chain.nested
+            assert span.args["depth"] == 1
+            assert span.ts >= chain.root.ts
+            assert span.ts + span.dur <= chain.root.ts + \
+                chain.root.dur + 1e-9
+            # The root's self-cycles exclude the nested crossing.
+            assert chain.root.args["self_cycles"] == pytest.approx(
+                chain.root.dur - span.dur)
+
+
+class TestCrossingMatrix:
+    def test_counts_match_context_transitions(self, redis_run):
+        matrix = crossing_matrix(gate_spans(redis_run.tracer))
+        for pair, count in redis_run.ctx.transitions.items():
+            assert matrix.counts[pair] == count
+        assert matrix.total_crossings() == \
+            sum(redis_run.ctx.transitions.values())
+
+    def test_cycles_agree_with_critical_path(self, redis_run):
+        spans = gate_spans(redis_run.tracer)
+        matrix = crossing_matrix(spans)
+        path = critical_path(spans)
+        assert sum(matrix.cycles.values()) == \
+            pytest.approx(path.total_gate_cycles)
+
+    def test_dict_shape_is_row_major(self, redis_run):
+        matrix = crossing_matrix(gate_spans(redis_run.tracer))
+        payload = matrix.to_dict()
+        n = len(payload["compartments"])
+        assert len(payload["counts"]) == n
+        assert all(len(row) == n for row in payload["counts"])
+        assert sum(map(sum, payload["counts"])) == matrix.total_crossings()
+
+
+class TestLibraryAttribution:
+    def test_books_to_callee_library(self, redis_run):
+        spans = gate_spans(redis_run.tracer)
+        attribution = library_attribution(spans)
+        assert sum(a["crossings"] for a in attribution.values()) == \
+            len(spans)
+        assert sum(a["cycles"] for a in attribution.values()) == \
+            pytest.approx(critical_path(spans).total_gate_cycles)
+
+    def test_agrees_with_profile_recorder_counts(self, redis_run):
+        """Same per-crossing attribution rule as ProfileRecorder: every
+        span books to ``args["library"]``, the callee."""
+        spans = gate_spans(redis_run.tracer)
+        attribution = library_attribution(spans)
+        by_library = {}
+        for span in spans:
+            key = span.args["library"]
+            by_library[key] = by_library.get(key, 0) + 1
+        assert {k: a["crossings"] for k, a in attribution.items()} == \
+            by_library
+
+
+class TestEptObservability:
+    def test_ept_run_records_space_switches_and_window_rpc(self):
+        run = run_functional_redis("vm-ept", n_requests=10, trace=True)
+        metrics = run.tracer.metrics
+        assert metrics.space_switches > 0
+        assert metrics.window_allocs > 0
+        assert metrics.window_bytes > 0
+        switches = [e for e in run.tracer.events_in("ept")
+                    if e.name == "as-switch"]
+        allocs = [e for e in run.tracer.events_in("ept")
+                  if e.name == "ivshmem-alloc"]
+        assert len(switches) == metrics.space_switches
+        assert len(allocs) == metrics.window_allocs
+        # Every EPT gate round trip is one call + one return switch.
+        directions = [e.args["direction"] for e in switches]
+        assert directions.count("call") == directions.count("return")
+        assert directions.count("call") == \
+            len(run.tracer.events_in("gate"))
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["address_space_switches"] == \
+            metrics.space_switches
+        assert snapshot["counters"]["shared_window"]["allocs"] == \
+            metrics.window_allocs
+
+    def test_mpk_run_records_no_space_switches(self):
+        run = run_functional_redis("intel-mpk", n_requests=10, trace=True)
+        assert run.tracer.metrics.space_switches == 0
+        assert run.tracer.events_in("ept") == []
+
+
+class TestFsIrqObservability:
+    def test_sqlite_run_records_fs_ops_by_layer(self):
+        run = run_functional_sqlite("intel-mpk", n_requests=10, trace=True)
+        fs_ops = run.tracer.metrics.fs_ops
+        assert any(key.startswith("vfscore.") for key in fs_ops)
+        assert any(key.startswith("ramfs.") for key in fs_ops)
+        assert fs_ops["vfscore.write"] >= 10    # one per INSERT
+        assert sum(fs_ops.values()) == len(run.tracer.events_in("fs"))
+        snapshot = run.tracer.metrics.snapshot()
+        assert snapshot["counters"]["fs_ops"] == fs_ops
+
+    def test_raised_irq_is_traced(self):
+        instance = boot(make_config())
+        fired = []
+        instance.irq.register(InterruptController.IRQ_NET,
+                              lambda payload: fired.append(payload))
+        with instance.trace() as tracer, instance.run():
+            instance.irq.raise_irq(InterruptController.IRQ_NET)
+        assert fired == [None]
+        (event,) = tracer.events_in("irq")
+        assert event.name == "irq-%d" % InterruptController.IRQ_NET
+        assert event.args["handlers"] == 1
+        assert tracer.metrics.irqs == {InterruptController.IRQ_NET: 1}
+
+
+class TestFlamegraphEscaping:
+    def _span(self, tracer, stack, self_cycles=7.0):
+        tracer.events.append(TraceEvent(
+            stack[-1], "gate", 0.0, dur=self_cycles,
+            args={"depth": len(stack) - 1, "self_cycles": self_cycles,
+                  "stack": tuple(stack)},
+        ))
+
+    def test_semicolon_in_frame_label_is_escaped(self):
+        """Regression: a library named ``evil;lib`` used to inject a
+        bogus frame boundary into the folded output."""
+        tracer = Tracer()
+        self._span(tracer, ["comp1->comp2:evil;lib"])
+        self._span(tracer, ["comp1->comp2:evil;lib",
+                            "comp2->comp3:inner"])
+        text = flamegraph(tracer)
+        for line in text.splitlines():
+            path, _, cycles = line.rpartition(" ")
+            frames = path.split(";")
+            assert all("%3b" not in f or ";" not in f for f in frames)
+            assert int(cycles) == 7
+        depths = sorted(len(line.rpartition(" ")[0].split(";"))
+                        for line in text.splitlines())
+        assert depths == [1, 2]  # not [2, 3]: ';' did not split a frame
+        assert "evil%3blib" in text
+
+    def test_escaping_is_injective(self):
+        tracer = Tracer()
+        self._span(tracer, ["a;b"], self_cycles=1.0)
+        self._span(tracer, ["a%3bb"], self_cycles=2.0)
+        lines = flamegraph(tracer).splitlines()
+        # Distinct frame labels stay distinct after escaping.
+        assert len(lines) == 2
+        assert {line.rpartition(" ")[0] for line in lines} == \
+            {"a%3bb", "a%253bb"}
+
+
+#: The campaign knobs the property test draws from.
+_MECHANISMS = st.sampled_from(("none", "intel-mpk", "vm-ept"))
+_POLICIES = st.sampled_from(("propagate", "retry", "restart", "degrade"))
+
+
+class TestMetricsInvariantProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           mechanism=_MECHANISMS, policy=_POLICIES,
+           n_faults=st.integers(min_value=1, max_value=25))
+    def test_histogram_totals_equal_counters_under_faults(
+            self, seed, mechanism, policy, n_faults):
+        """Per-pair latency histogram totals equal the crossing counters
+        under arbitrary seeded fault campaigns — faults, retries,
+        restarts and all."""
+        config = CampaignConfig(mechanism=mechanism, policy=policy,
+                                seed=seed, n_faults=n_faults)
+        with tracing(Tracer(keep_events=False)) as tracer:
+            run_campaign(config)
+        metrics = tracer.metrics
+        assert metrics.total_crossings() > 0
+        for (src, dst), histogram in metrics.gate_latency.items():
+            assert histogram.total == metrics.crossings_for_pair(src, dst)
+            assert histogram.total == sum(histogram.counts)
+        assert sum(h.total for h in metrics.gate_latency.values()) == \
+            metrics.total_crossings()
+
+    def test_invariant_survives_retry_ceiling(self):
+        """The MAX_SUPERVISED_ATTEMPTS path replays the gate body many
+        times for one logical call; every replay is one crossing and one
+        histogram observation, so the invariant must still hold."""
+        from repro.core.gates import Gate
+
+        instance = boot(make_config())
+        instance.set_fault_policy("lwip", AlwaysRetryPolicy())
+        lwip = instance.image.compartment_of("lwip").index
+        heap = instance.memmgr.heap_of(lwip)
+        heap.fail_next(50)
+        with instance.trace() as tracer, instance.run():
+            with pytest.raises(AllocationError):
+                lwip_alloc_probe(heap)
+        metrics = tracer.metrics
+        assert metrics.total_crossings() >= Gate.MAX_SUPERVISED_ATTEMPTS
+        for (src, dst), histogram in metrics.gate_latency.items():
+            assert histogram.total == metrics.crossings_for_pair(src, dst)
+        assert sum(h.total for h in metrics.gate_latency.values()) == \
+            metrics.total_crossings()
