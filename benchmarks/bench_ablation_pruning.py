@@ -8,28 +8,27 @@ evaluations.
 """
 
 from benchmarks.common import run_recorded, write_result
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
-from repro.explore import explore, generate_fig6_space
-from repro.hw.costs import DEFAULT_COSTS
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
 
 BUDGETS = (400_000, 500_000, 650_000, 800_000)
 
 
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
-
-
 def run_ablation():
     layouts = generate_fig6_space()
+    evaluator = ProfileEvaluator(app="redis")
     rows = []
     for budget in BUDGETS:
-        pruned = explore(layouts, measure, budget=budget)
-        full = explore(layouts, measure, budget=budget,
-                       assume_monotonic=False)
+        pruned = explore(ExplorationRequest(
+            layouts=layouts, evaluator=evaluator, budget=budget))
+        full = explore(ExplorationRequest(
+            layouts=layouts, evaluator=evaluator, budget=budget,
+            assume_monotonic=False))
         rows.append({
             "budget (kreq/s)": budget // 1000,
             "evaluations (pruned)": pruned.evaluations,

@@ -6,23 +6,23 @@ configurations sustaining >= 500K requests/s.
 """
 
 from benchmarks.common import run_recorded, write_result
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
-from repro.explore import explore, generate_fig6_space
-from repro.hw.costs import DEFAULT_COSTS
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
 
 BUDGET = 500_000
 
 
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
-
-
 def run_exploration():
-    return explore(generate_fig6_space(), measure, budget=BUDGET)
+    return explore(ExplorationRequest(
+        layouts=generate_fig6_space(),
+        evaluator=ProfileEvaluator(app="redis"),
+        budget=BUDGET,
+    ))
 
 
 def _summarize(result):

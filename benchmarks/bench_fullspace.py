@@ -6,29 +6,46 @@ hardening = 224 configurations.  This benchmark runs partial safety
 ordering over all of them, demonstrating the technique's value exactly
 where the paper claims it: the bigger the space, the larger the fraction
 pruned without measurement — and the certificate still verifies.
+
+The engine is steerable from the environment so CI's ``explore-smoke``
+step can exercise the parallel + cached paths without a separate driver:
+
+* ``FLEXOS_EXPLORE_JOBS=N`` fans evaluation out to N worker processes
+  (the wavefront engine; results are identical to serial by design).
+* ``FLEXOS_EXPLORE_CACHE=DIR`` persists evaluations content-addressed
+  under DIR and writes the engine/cache stats to
+  ``DIR/stats-fullspace.json`` — a warm second run performs zero fresh
+  evaluations.
 """
 
+import json
+import os
+
 from benchmarks.common import run_recorded, write_result
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import format_table
-from repro.explore import explore
+from repro.explore import ExplorationRequest, ProfileEvaluator, explore
 from repro.explore.configspace import generate_full_space
 from repro.explore.formal import certify
-from repro.hw.costs import DEFAULT_COSTS
 
 BUDGET = 500_000
 
 
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
+def engine_options():
+    """``(jobs, cache_dir)`` from the environment (serial, uncached default)."""
+    jobs = int(os.environ.get("FLEXOS_EXPLORE_JOBS", "1"))
+    cache_dir = os.environ.get("FLEXOS_EXPLORE_CACHE") or None
+    return jobs, cache_dir
 
 
 def run_full_exploration():
-    layouts = generate_full_space()
-    result = explore(layouts, measure, budget=BUDGET)
+    jobs, cache_dir = engine_options()
+    result = explore(ExplorationRequest(
+        layouts=generate_full_space(),
+        evaluator=ProfileEvaluator(app="redis"),
+        budget=BUDGET,
+        jobs=jobs,
+        cache=cache_dir,
+    ))
     certificate = certify(result)
     return result, certificate
 
@@ -58,6 +75,14 @@ def test_full_space_exploration(benchmark):
                     "configuration space (budget 500K req/s)",
     )
     write_result("ext_fullspace", text)
+
+    _, cache_dir = engine_options()
+    if cache_dir:
+        with open(os.path.join(cache_dir, "stats-fullspace.json"),
+                  "w") as handle:
+            json.dump(result.engine_stats(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
 
     assert summary["configurations"] == 224
     assert certificate.valid

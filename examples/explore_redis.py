@@ -7,18 +7,14 @@ pruning, and prints the starred configurations — the safest ones that
 sustain at least 500K requests/s.
 """
 
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
-from repro.explore import explore, generate_fig6_space
-from repro.hw.costs import DEFAULT_COSTS
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
 
 BUDGET = 500_000  # requests/s, the paper's Section 6.2 example
-
-
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
 
 
 def main():
@@ -27,7 +23,11 @@ def main():
           "(5 compartmentalization strategies x 2^4 hardening)"
           % len(layouts))
 
-    result = explore(layouts, measure, budget=BUDGET)
+    result = explore(ExplorationRequest(
+        layouts=layouts,
+        evaluator=ProfileEvaluator(app="redis"),
+        budget=BUDGET,
+    ))
     summary = result.summary()
     print("poset: %d nodes, %d Hasse edges"
           % (summary["configurations"], len(result.poset.edges())))

@@ -19,8 +19,15 @@ class SweepResult:
     def __init__(self, metric):
         self.metric = metric
         self._rows = []       # (name, value, extra)
+        self._index = {}      # name -> row position (lookups stay O(1))
 
     def add(self, name, value, **extra):
+        if name in self._index:
+            raise ExplorationError(
+                "duplicate sweep result %r (a second add() would have "
+                "silently shadowed the first)" % name
+            )
+        self._index[name] = len(self._rows)
         self._rows.append((name, value, extra))
 
     def __len__(self):
@@ -33,10 +40,10 @@ class SweepResult:
         return [value for _, value, _ in self._rows]
 
     def value_of(self, name):
-        for row_name, value, _ in self._rows:
-            if row_name == name:
-                return value
-        raise ExplorationError("no result named %r" % name)
+        try:
+            return self._rows[self._index[name]][1]
+        except KeyError:
+            raise ExplorationError("no result named %r" % name) from None
 
     def normalized_to(self, reference_name):
         """Values divided by the reference's value."""

@@ -9,32 +9,80 @@ Usage::
     flexos-repro build redis.flexos.yaml
     flexos-repro inspect redis.flexos.yaml --linker-script
     flexos-repro tcb redis.flexos.yaml
-    flexos-repro explore --app redis --budget 500000
+    flexos-repro explore run --app redis --budget 500000 --jobs 4 --cache
     flexos-repro table1
     flexos-repro faults run --mechanism intel-mpk --seed 1 --faults 40
     flexos-repro faults scorecard --seed 1 --faults 40
     flexos-repro trace redis --requests 40 --out trace-redis.json
     flexos-repro metrics redis --requests 50 --out-dir obs-artifacts
+
+Output handling is uniform: commands that produce a report accept
+``--out FILE`` (default: stdout) and, where a structured form exists,
+``--format text|json``; campaign-style commands share one ``--seed``.
+Exit codes are consistent everywhere: 0 success, 1 a check failed or
+the library reported an error, 2 unusable input (missing file).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.apps.base import evaluate_profile
 from repro.bench import format_table
 from repro.core.config import loads_config
 from repro.core.tcb import TcbReport
 from repro.core.toolchain.build import build_image
 from repro.errors import ReproError
-from repro.explore import explore, generate_fig6_space
-from repro.hw.costs import DEFAULT_COSTS
 
-APP_PROFILES = {
-    "redis": ("repro.apps.redis", "REDIS_GET_PROFILE", "redis"),
-    "nginx": ("repro.apps.nginx", "NGINX_HTTP_PROFILE", "nginx"),
-}
+#: Consistent process exit codes across every subcommand.
+EXIT_OK = 0      # the command did what was asked
+EXIT_FAIL = 1    # a check failed, or the library reported an error
+EXIT_IO = 2      # unusable input (e.g. a missing file)
+
+
+# -- shared option/output plumbing ------------------------------------------
+def add_output_options(parser, formats=("text", "json"),
+                       out_help="write the report to FILE instead of stdout"):
+    """The shared ``--out`` / ``--format`` pair for report commands."""
+    parser.add_argument("--out", default=None, metavar="FILE", help=out_help)
+    if formats:
+        parser.add_argument("--format", choices=formats, default=formats[0],
+                            help="report format (default: %(default)s)")
+
+
+def add_seed_option(parser, default=1,
+                    help_text="deterministic seed (same seed = same run)"):
+    """The shared ``--seed`` option for seeded commands."""
+    parser.add_argument("--seed", type=int, default=default, help=help_text)
+
+
+def write_file(path, text, out, label="report"):
+    """Write ``text`` to ``path`` and tell the user where it went."""
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    out.write("%s: %s\n" % (label, path))
+    return path
+
+
+def emit(args, out, text, payload=None, label="report"):
+    """Deliver a command's report per its ``--out`` / ``--format`` flags.
+
+    ``text`` is the human rendering; ``payload`` (when the command has
+    one) is the JSON-serialisable structure behind it.  Returns
+    :data:`EXIT_OK` so commands can ``return emit(...)``.
+    """
+    if getattr(args, "format", "text") == "json":
+        if payload is None:
+            raise ReproError("this command has no JSON form")
+        rendered = json.dumps(payload, indent=1, sort_keys=True)
+    else:
+        rendered = text
+    if getattr(args, "out", None):
+        write_file(args.out, rendered, out, label=label)
+    else:
+        out.write(rendered + "\n")
+    return EXIT_OK
 
 
 def _load_config(path, sharing, mpk_gate):
@@ -57,7 +105,7 @@ def cmd_build(args, out):
     out.write("  wrappers:         %d\n" % report.wrappers)
     out.write("  sections:         %d\n" % len(image.sections))
     out.write("  shared variables: %d\n" % len(image.annotations))
-    return 0
+    return EXIT_OK
 
 
 def cmd_inspect(args, out):
@@ -77,7 +125,7 @@ def cmd_inspect(args, out):
     out.write(format_table(rows, title="image: %s" % config.name) + "\n")
     if args.linker_script:
         out.write("\n" + image.linker_script + "\n")
-    return 0
+    return EXIT_OK
 
 
 def cmd_diff(args, out):
@@ -95,7 +143,7 @@ def cmd_diff(args, out):
         out.write(render_diff(sources, transformed, args.library) + "\n")
     else:
         out.write(render_all_diffs(sources, transformed) + "\n")
-    return 0
+    return EXIT_OK
 
 
 def cmd_tcb(args, out):
@@ -112,43 +160,72 @@ def cmd_tcb(args, out):
         out.write("  (duplicated into each of %d VMs: %d LoC resident)\n"
                   % (report.copies, report.resident_loc))
     out.write("  outside the TCB: %s\n" % ", ".join(summary["outside_tcb"]))
-    return 0
+    return EXIT_OK
 
 
-def cmd_explore(args, out):
-    module_name, profile_name, library = APP_PROFILES[args.app]
-    module = __import__(module_name, fromlist=[profile_name])
-    profile = getattr(module, profile_name)
+def cmd_explore_run(args, out):
+    """Run the exploration engine over the Fig. 6 or full space."""
+    from repro.explore import (
+        EvaluationCache,
+        ExplorationRequest,
+        explore,
+        get_evaluator,
+    )
+    from repro.explore.configspace import (
+        generate_fig6_space,
+        generate_full_space,
+    )
 
-    def measure(layout):
-        return evaluate_profile(profile, layout, DEFAULT_COSTS,
-                                library)["requests_per_second"]
+    from repro.explore.cache import DEFAULT_CACHE_DIR
 
-    from repro.explore.configspace import generate_full_space
-
+    if args.evaluator == "synthetic":
+        evaluator = get_evaluator("synthetic", seed=args.seed)
+    else:
+        evaluator = get_evaluator("profile", app=args.app)
     layouts = (generate_full_space() if args.full_space
                else generate_fig6_space())
-    result = explore(layouts, measure, budget=args.budget)
+    cache_dir = args.cache_dir or str(DEFAULT_CACHE_DIR)
+    cache = EvaluationCache(cache_dir) if args.cache else None
+    result = explore(ExplorationRequest(
+        layouts=layouts, evaluator=evaluator, budget=args.budget,
+        jobs=args.jobs, cache=cache,
+    ))
     if args.dot:
         from repro.explore.visualize import exploration_to_dot
 
-        with open(args.dot, "w") as handle:
-            handle.write(exploration_to_dot(result) + "\n")
-        out.write("poset written to %s (render with: dot -Tpdf)\n"
-                  % args.dot)
+        write_file(args.dot, exploration_to_dot(result), out, label="poset")
     summary = result.summary()
-    out.write("explored %d configurations: %d measured, %d pruned, "
-              "%d meet %d req/s\n"
-              % (summary["configurations"], summary["evaluated"],
-                 summary["pruned"], summary["passing"], args.budget))
+    stats = result.engine_stats()
+    if args.stats_out:
+        write_file(args.stats_out,
+                   json.dumps(stats, indent=1, sort_keys=True), out,
+                   label="engine stats")
+    lines = [
+        "explored %d configurations in %d wave(s) with %d job(s): "
+        "%d labelled, %d pruned, %d meet %.0f req/s"
+        % (summary["configurations"], stats["waves"], args.jobs,
+           summary["evaluated"], summary["pruned"], summary["passing"],
+           args.budget),
+    ]
+    if cache is not None:
+        lines.append("cache: %d hit(s), %d fresh evaluation(s) "
+                     "(hit rate %.0f%%) under %s"
+                     % (stats["cache_hits"], stats["fresh_evaluations"],
+                        100.0 * stats["hit_rate"], cache_dir))
     rows = [
         {"starred": name,
          "req/s": "%.0f" % result.measurements[name]}
         for name in result.recommended
     ]
-    out.write(format_table(rows) + "\n" if rows
-              else "no configuration meets the budget\n")
-    return 0
+    lines.append(format_table(rows) if rows
+                 else "no configuration meets the budget")
+    payload = {
+        "summary": summary,
+        "engine": stats,
+        "recommended": {name: result.measurements[name]
+                        for name in result.recommended},
+    }
+    return emit(args, out, "\n".join(lines), payload)
 
 
 def cmd_table1(args, out):
@@ -156,7 +233,7 @@ def cmd_table1(args, out):
 
     out.write(format_table(porting_effort_table(),
                            title="Table 1: porting effort") + "\n")
-    return 0
+    return EXIT_OK
 
 
 def cmd_faults_run(args, out):
@@ -168,29 +245,46 @@ def cmd_faults_run(args, out):
         policy=args.policy, seed=args.seed, n_faults=args.faults,
     )
     result = run_campaign(config)
-    out.write(result.to_text() + "\n")
-    out.write(result.summary_line() + "\n")
-    return 0
+    text = result.to_text() + "\n" + result.summary_line()
+    payload = {
+        "campaign": config.describe(),
+        "counters": result.counters(),
+        "containment_rate": result.containment_rate(),
+        "records": [record.line() for record in result.records],
+    }
+    return emit(args, out, text, payload)
 
 
 def cmd_faults_scorecard(args, out):
     """Run the identical campaign across all backends and tabulate."""
-    from repro.bench.containment import format_scorecard, run_scorecard
+    from repro.bench.containment import (
+        format_scorecard,
+        run_scorecard,
+        scorecard_rows,
+    )
 
     results = run_scorecard(seed=args.seed, n_faults=args.faults,
                             policy=args.policy)
-    out.write(format_scorecard(results) + "\n")
+    lines = [format_scorecard(results)]
     if args.records:
         for result in results:
-            out.write("\n" + result.to_text() + "\n")
+            lines.append("")
+            lines.append(result.to_text())
+    check_failed = False
     if args.check:
         hardware = [r for r in results
                     if r.config.mechanism in ("intel-mpk", "vm-ept")]
-        if any(r.containment_rate() < 0.95 for r in hardware):
-            out.write("FAIL: hardware backend below 95% containment\n")
-            return 1
-        out.write("OK: all hardware backends >= 95% containment\n")
-    return 0
+        check_failed = any(r.containment_rate() < 0.95 for r in hardware)
+        lines.append("FAIL: hardware backend below 95% containment"
+                     if check_failed
+                     else "OK: all hardware backends >= 95% containment")
+    payload = {
+        "rows": scorecard_rows(results),
+        "check": (None if not args.check
+                  else ("fail" if check_failed else "ok")),
+    }
+    emit(args, out, "\n".join(lines), payload)
+    return EXIT_FAIL if check_failed else EXIT_OK
 
 
 def _traced_run(args):
@@ -212,22 +306,18 @@ def cmd_trace(args, out):
     run = _traced_run(args)
     tracer = run.tracer
     path = args.out or "trace-%s.json" % args.app
-    with open(path, "w") as handle:
-        handle.write(chrome_trace_json(tracer) + "\n")
     out.write("traced %s/%s: %d requests, %.0f cycles/request\n"
               % (run.app, run.mechanism, run.n_requests,
                  run.cycles_per_request))
     out.write("  events:     %d (%d gate spans, %d pairs)\n"
               % (len(tracer.events), len(tracer.events_in("gate")),
                  len(tracer.gate_pairs())))
-    out.write("  trace:      %s (open in chrome://tracing or perfetto)\n"
-              % path)
+    write_file(path, chrome_trace_json(tracer), out,
+               label="  trace (chrome://tracing or perfetto)")
     if args.flamegraph:
-        with open(args.flamegraph, "w") as handle:
-            handle.write(flamegraph(tracer) + "\n")
-        out.write("  flamegraph: %s (folded stacks; flamegraph.pl)\n"
-                  % os.path.abspath(args.flamegraph))
-    return 0
+        write_file(os.path.abspath(args.flamegraph), flamegraph(tracer),
+                   out, label="  flamegraph (folded stacks)")
+    return EXIT_OK
 
 
 def cmd_metrics(args, out):
@@ -246,27 +336,20 @@ def cmd_metrics(args, out):
     text = metrics_json(run.tracer.metrics, extra=extra)
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
-        metrics_path = os.path.join(args.out_dir,
-                                    "metrics-%s.json" % run.app)
-        trace_path = os.path.join(args.out_dir, "trace-%s.json" % run.app)
-        with open(metrics_path, "w") as handle:
-            handle.write(text + "\n")
-        with open(trace_path, "w") as handle:
-            handle.write(chrome_trace_json(run.tracer) + "\n")
         out.write("metrics for %s/%s: %d requests, %.0f cycles/request\n"
                   % (run.app, run.mechanism, run.n_requests,
                      run.cycles_per_request))
-        out.write("  metrics: %s\n" % metrics_path)
-        out.write("  trace:   %s\n" % trace_path)
+        write_file(os.path.join(args.out_dir, "metrics-%s.json" % run.app),
+                   text, out, label="  metrics")
+        write_file(os.path.join(args.out_dir, "trace-%s.json" % run.app),
+                   chrome_trace_json(run.tracer), out, label="  trace")
     else:
         out.write(text + "\n")
-    return 0
+    return EXIT_OK
 
 
 def cmd_obs_report(args, out):
     """Traced functional run -> critical path + crossing matrix report."""
-    import json
-
     from repro.obs import analyze
 
     run = _traced_run(args)
@@ -276,12 +359,10 @@ def cmd_obs_report(args, out):
         "requests": run.n_requests,
         "cycles/request": "%.0f" % run.cycles_per_request,
     })
-    if args.json:
-        out.write(json.dumps(analysis.to_dict(args.top), indent=1,
-                             sort_keys=True) + "\n")
-    else:
-        out.write(analysis.to_text(top_k=args.top) + "\n")
-    return 0
+    if args.json:  # deprecated spelling of --format json
+        args.format = "json"
+    return emit(args, out, analysis.to_text(top_k=args.top),
+                analysis.to_dict(args.top))
 
 
 def cmd_obs_diff(args, out):
@@ -293,8 +374,11 @@ def cmd_obs_diff(args, out):
     diff = diff_snapshots(baseline, current,
                           baseline_label=args.baseline_snapshot,
                           current_label=args.current_snapshot)
-    out.write(diff.to_text(include_unchanged=args.all) + "\n")
-    return 0
+    shown = diff.deltas if args.all else diff.changed()
+    payload = {"benchmark": diff.benchmark,
+               "deltas": [d.row() for d in shown]}
+    return emit(args, out, diff.to_text(include_unchanged=args.all),
+                payload)
 
 
 def cmd_obs_check(args, out):
@@ -304,7 +388,7 @@ def cmd_obs_check(args, out):
     report = check_baselines(args.results, args.baseline,
                              allow=args.allow or ())
     out.write(report.to_text() + "\n")
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_FAIL
 
 
 def build_parser():
@@ -344,18 +428,42 @@ def build_parser():
     p_tcb.set_defaults(func=cmd_tcb)
 
     p_explore = sub.add_parser(
-        "explore", help="partial safety ordering over the Fig. 6 space",
+        "explore", help="partial safety ordering over configuration spaces",
     )
-    p_explore.add_argument("--app", default="redis",
-                           choices=sorted(APP_PROFILES))
-    p_explore.add_argument("--budget", type=float, default=500_000,
-                           help="minimum requests/s")
-    p_explore.add_argument("--full-space", action="store_true",
-                           help="explore all 224 partitions, not just "
-                                "the Fig. 6 strategies")
-    p_explore.add_argument("--dot", metavar="FILE", default=None,
-                           help="write the labelled poset as Graphviz DOT")
-    p_explore.set_defaults(func=cmd_explore)
+    explore_sub = p_explore.add_subparsers(dest="explore_command",
+                                           required=True)
+    p_erun = explore_sub.add_parser(
+        "run", help="run the wavefront engine over the Fig. 6 or full space",
+    )
+    from repro.explore.evaluators import APP_PROFILES
+
+    p_erun.add_argument("--app", default="redis",
+                        choices=sorted(APP_PROFILES))
+    p_erun.add_argument("--budget", type=float, default=500_000,
+                        help="minimum requests/s")
+    p_erun.add_argument("--full-space", action="store_true",
+                        help="explore all 224 partitions, not just the "
+                             "Fig. 6 strategies")
+    p_erun.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="evaluate each wave on N worker processes")
+    p_erun.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="reuse measurements through the "
+                             "content-addressed evaluation cache")
+    p_erun.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache location (default: "
+                             "benchmarks/results/cache)")
+    p_erun.add_argument("--evaluator", default="profile",
+                        choices=("profile", "synthetic"),
+                        help="profile: price the app's request profile; "
+                             "synthetic: seeded engine smoke evaluator")
+    p_erun.add_argument("--dot", metavar="FILE", default=None,
+                        help="write the labelled poset as Graphviz DOT")
+    p_erun.add_argument("--stats-out", metavar="FILE", default=None,
+                        help="also write the engine/cache stats as JSON")
+    add_seed_option(p_erun, help_text="seed for the synthetic evaluator")
+    add_output_options(p_erun)
+    p_erun.set_defaults(func=cmd_explore_run)
 
     p_table1 = sub.add_parser("table1", help="print the porting table")
     p_table1.set_defaults(func=cmd_table1)
@@ -367,13 +475,14 @@ def build_parser():
                                          required=True)
 
     def add_campaign_args(p):
-        p.add_argument("--seed", type=int, default=1,
-                       help="campaign seed (same seed = same faults)")
+        add_seed_option(p, help_text="campaign seed (same seed = same "
+                                     "faults)")
         p.add_argument("--faults", type=int, default=40,
                        help="number of faults to inject")
         p.add_argument("--policy", default="propagate",
                        choices=("propagate", "retry", "restart",
                                 "degrade"))
+        add_output_options(p)
 
     p_frun = faults_sub.add_parser(
         "run", help="one campaign against one backend",
@@ -413,8 +522,8 @@ def build_parser():
         "trace", help="run an app functionally, emit a Chrome trace",
     )
     add_functional_args(p_trace)
-    p_trace.add_argument("--out", default=None, metavar="FILE",
-                         help="trace file (default: trace-<app>.json)")
+    add_output_options(p_trace, formats=(),
+                       out_help="trace file (default: trace-<app>.json)")
     p_trace.add_argument("--flamegraph", default=None, metavar="FILE",
                          help="also write a folded-stack flamegraph")
     p_trace.set_defaults(func=cmd_trace)
@@ -441,7 +550,8 @@ def build_parser():
     p_oreport.add_argument("--top", type=int, default=10,
                            help="gate pairs / libraries to show")
     p_oreport.add_argument("--json", action="store_true",
-                           help="emit the analysis as JSON")
+                           help=argparse.SUPPRESS)  # use --format json
+    add_output_options(p_oreport)
     p_oreport.set_defaults(func=cmd_obs_report)
 
     p_odiff = obs_sub.add_parser(
@@ -452,6 +562,7 @@ def build_parser():
     p_odiff.add_argument("current_snapshot", help="newer snapshot")
     p_odiff.add_argument("--all", action="store_true",
                          help="also list unchanged metrics")
+    add_output_options(p_odiff)
     p_odiff.set_defaults(func=cmd_obs_diff)
 
     p_ocheck = obs_sub.add_parser(
@@ -482,10 +593,10 @@ def main(argv=None, out=None):
         return args.func(args, out)
     except FileNotFoundError as exc:
         out.write("error: %s\n" % exc)
-        return 2
+        return EXIT_IO
     except ReproError as exc:
         out.write("error: %s\n" % exc)
-        return 1
+        return EXIT_FAIL
 
 
 if __name__ == "__main__":

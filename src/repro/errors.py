@@ -283,4 +283,14 @@ class SchedulerError(ReproError):
 
 
 class ExplorationError(ReproError):
-    """The design-space explorer was misused (e.g. empty budget set)."""
+    """The design-space explorer was misused (e.g. empty budget set).
+
+    When an evaluator fails mid-walk, ``partial`` carries the
+    :class:`~repro.explore.explorer.ExplorationResult` accumulated up to
+    the failure (finalised over what was measured), so a long run's
+    labellings survive the crash.
+    """
+
+    def __init__(self, message, partial=None):
+        self.partial = partial
+        super().__init__(message)

@@ -1,0 +1,204 @@
+"""Named, picklable performance evaluators for the exploration engine.
+
+The legacy ``explore(layouts, measure, ...)`` API took an arbitrary
+closure, which structurally forbids two things the engine needs:
+
+* **multiprocessing** — a closure defined inside a benchmark driver
+  cannot be pickled into a ``spawn``-context worker;
+* **caching** — a closure has no stable identity, so a measurement made
+  by one driver cannot be recognised as reusable by another.
+
+An :class:`Evaluator` is the replacement: a small, picklable object with
+a registry name and a :meth:`key` that contributes to the
+content-addressed cache key (see :mod:`repro.explore.cache`).  Two
+drivers constructing ``ProfileEvaluator(app="redis")`` get interchange-
+able evaluators, so their measurements share cache entries.
+
+Register project-specific evaluators with :func:`register_evaluator`;
+look them up by name with :func:`get_evaluator`.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+from repro.errors import ExplorationError
+from repro.explore.cache import layout_digest
+
+#: Registered evaluator classes, keyed by :attr:`Evaluator.name`.
+EVALUATORS = {}
+
+
+def register_evaluator(cls):
+    """Class decorator: add ``cls`` to the evaluator registry."""
+    if not cls.name:
+        raise ExplorationError("evaluator class %s has no name" % cls)
+    if cls.name in EVALUATORS:
+        raise ExplorationError("evaluator %r already registered" % cls.name)
+    EVALUATORS[cls.name] = cls
+    return cls
+
+
+def get_evaluator(name, **params):
+    """Instantiate the registered evaluator ``name`` with ``params``."""
+    try:
+        cls = EVALUATORS[name]
+    except KeyError:
+        raise ExplorationError(
+            "unknown evaluator %r (registered: %s)"
+            % (name, ", ".join(sorted(EVALUATORS)))
+        ) from None
+    return cls(**params)
+
+
+def resolve_evaluator(spec):
+    """Coerce a request's ``evaluator`` field into an :class:`Evaluator`.
+
+    Accepts an :class:`Evaluator` instance (returned as is), a registry
+    name, or a bare callable (wrapped in :class:`CallableEvaluator` —
+    serial-only, uncacheable).
+    """
+    if isinstance(spec, Evaluator):
+        return spec
+    if isinstance(spec, str):
+        return get_evaluator(spec)
+    if callable(spec):
+        return CallableEvaluator(spec)
+    raise ExplorationError("cannot use %r as an evaluator" % (spec,))
+
+
+class Evaluator:
+    """Measures one :class:`~repro.apps.base.ComponentLayout`.
+
+    Subclasses set :attr:`name` (the registry key), implement
+    :meth:`__call__` and :meth:`params`, and must stay picklable:
+    keep construction parameters as plain attributes and resolve any
+    heavyweight objects (profiles, cost tables) lazily at call time.
+    """
+
+    #: Registry key; also the first component of the cache key.
+    name = None
+    #: Safe to pickle into a spawn-context worker pool.
+    parallel_safe = True
+    #: Has a stable :meth:`key`, so results may be cached.
+    cacheable = True
+
+    def __call__(self, layout):
+        """Return the layout's performance (higher is better)."""
+        raise NotImplementedError
+
+    def params(self):
+        """JSON-serialisable construction parameters (for :meth:`key`)."""
+        return {}
+
+    def key(self):
+        """The evaluator's contribution to the evaluation cache key."""
+        return {"evaluator": self.name, **self.params()}
+
+    def __repr__(self):
+        args = ", ".join("%s=%r" % kv for kv in sorted(self.params().items()))
+        return "%s(%s)" % (type(self).__name__, args)
+
+
+#: App name -> (module, profile attribute, priced library).  The modules
+#: are imported lazily so an evaluator pickles as three short strings.
+APP_PROFILES = {
+    "redis": ("repro.apps.redis", "REDIS_GET_PROFILE", "redis"),
+    "nginx": ("repro.apps.nginx", "NGINX_HTTP_PROFILE", "nginx"),
+}
+
+
+@register_evaluator
+class ProfileEvaluator(Evaluator):
+    """Price an application's request profile under the cost model.
+
+    This is the measurement every Fig. 6/8 driver used to spell out as a
+    local ``measure`` closure: evaluate the app's
+    :class:`~repro.apps.base.RequestProfile` under the layout with
+    :data:`~repro.hw.costs.DEFAULT_COSTS` and report one metric.
+    """
+
+    name = "profile"
+
+    def __init__(self, app="redis", metric="requests_per_second"):
+        if app not in APP_PROFILES:
+            raise ExplorationError(
+                "unknown app %r (available: %s)"
+                % (app, ", ".join(sorted(APP_PROFILES)))
+            )
+        self.app = app
+        self.metric = metric
+
+    def params(self):
+        return {"app": self.app, "metric": self.metric}
+
+    def __call__(self, layout):
+        from repro.apps.base import evaluate_profile
+        from repro.hw.costs import DEFAULT_COSTS
+
+        module_name, profile_name, library = APP_PROFILES[self.app]
+        profile = getattr(import_module(module_name), profile_name)
+        return evaluate_profile(profile, layout, DEFAULT_COSTS,
+                                library)[self.metric]
+
+
+@register_evaluator
+class SyntheticEvaluator(Evaluator):
+    """A deterministic pseudo-performance function of the layout content.
+
+    Useful for property tests and smoke runs that exercise the engine
+    without the cost model: the value depends only on the layout's
+    semantic digest and the seed, so it is stable across processes and
+    runs, picklable, and cacheable — but deliberately *not* monotone in
+    safety (which the engine must tolerate: pruning decisions follow the
+    same rule serially and in parallel either way).
+    """
+
+    name = "synthetic"
+
+    def __init__(self, seed=0, scale=1_000_000.0):
+        self.seed = int(seed)
+        self.scale = float(scale)
+
+    def params(self):
+        return {"seed": self.seed, "scale": self.scale}
+
+    def __call__(self, layout):
+        import hashlib
+
+        payload = "%s:%d" % (layout_digest(layout), self.seed)
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+        fraction = int(digest, 16) / float(16 ** 12)
+        return self.scale * (0.25 + 0.75 * fraction)
+
+
+class CallableEvaluator(Evaluator):
+    """Adapter for legacy ``measure`` callables.
+
+    Exists so the deprecation shim (and callers that genuinely need a
+    closure, e.g. noise-injecting tests) can ride the new engine — but
+    only serially: a closure has no stable identity, so it cannot be
+    cached, and it generally cannot be pickled into a worker pool.
+    """
+
+    name = "callable"
+    parallel_safe = False
+    cacheable = False
+
+    def __init__(self, fn, label=None):
+        if not callable(fn):
+            raise ExplorationError("%r is not callable" % (fn,))
+        self.fn = fn
+        self.label = label or getattr(fn, "__name__", "measure")
+
+    def params(self):
+        return {"label": self.label}
+
+    def key(self):
+        raise ExplorationError(
+            "callable evaluator %r has no stable cache key; register a "
+            "named Evaluator class to enable caching" % self.label
+        )
+
+    def __call__(self, layout):
+        return self.fn(layout)

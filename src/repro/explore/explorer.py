@@ -1,19 +1,89 @@
 """Performance labelling and budget pruning (Section 5, "in practice").
 
-The user supplies a measurement function (the test script: wrk,
-redis-benchmark, ...) and a performance budget.  The explorer walks the
-poset from the least-safe (fastest) configurations outward; assuming
-performance decreases monotonically as safety increases, it "can safely
-stop evaluating a path as soon as a threshold is reached" — any
-configuration with a failing ancestor is pruned unmeasured.  The answer
-is the set of *maximal elements* among configurations meeting the budget
-(the green sinks of Fig. 5, the stars of Fig. 8).
+The user supplies an evaluator (the test script: wrk, redis-benchmark,
+...) and a performance budget.  The explorer walks the poset from the
+least-safe (fastest) configurations outward; assuming performance
+decreases monotonically as safety increases, it "can safely stop
+evaluating a path as soon as a threshold is reached" — any configuration
+with a failing ancestor is pruned unmeasured.  The answer is the set of
+*maximal elements* among configurations meeting the budget (the green
+sinks of Fig. 5, the stars of Fig. 8).
+
+Entry points:
+
+* :class:`ExplorationRequest` + :func:`explore` — the evaluation API.
+  A request names a picklable :class:`~repro.explore.evaluators.Evaluator`
+  (or wraps a legacy callable), and may ask for a worker pool
+  (``jobs``) and a content-addressed cache (``cache``); the wavefront
+  engine in :mod:`repro.explore.parallel` does the walking.
+* :func:`explore_serial` — the strictly serial reference walker.  The
+  engine is required to be *result-identical* to it (same recommended,
+  measurements and pruned sets); tests and the certificate checker use
+  it as the oracle.
+* The legacy positional ``explore(layouts, measure, budget)`` signature
+  still works through a deprecation shim that wraps the callable.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
+from typing import Any, Sequence
+
 from repro.errors import ExplorationError
+from repro.explore.cache import resolve_cache
+from repro.explore.evaluators import CallableEvaluator, resolve_evaluator
 from repro.explore.poset import ConfigPoset
+
+
+@dataclass
+class ExplorationRequest:
+    """Everything one exploration run needs, in one picklable bundle.
+
+    Args:
+        layouts: the configurations to explore
+            (:class:`~repro.apps.base.ComponentLayout` objects).
+        evaluator: an :class:`~repro.explore.evaluators.Evaluator`
+            instance, a registry name (e.g. ``"profile"``), or a legacy
+            callable (wrapped; serial-only, uncacheable).
+        budget: minimum acceptable performance.
+        assume_monotonic: enable monotone path pruning (disable to
+            verify the assumption — the ablation benchmark does).
+        jobs: worker processes; ``1`` evaluates inline, ``> 1`` fans
+            each wave out to a ``spawn``-context pool (the evaluator
+            must then be ``parallel_safe``).
+        cache: an :class:`~repro.explore.cache.EvaluationCache`, a cache
+            directory path, or ``None`` to re-measure everything.
+    """
+
+    layouts: Sequence[Any]
+    evaluator: Any
+    budget: float
+    assume_monotonic: bool = True
+    jobs: int = 1
+    cache: Any = None
+
+    def resolved(self):
+        """(layouts, evaluator, cache) with specs coerced and validated."""
+        layouts = list(self.layouts)
+        if not layouts:
+            raise ExplorationError("nothing to explore")
+        evaluator = resolve_evaluator(self.evaluator)
+        cache = resolve_cache(self.cache)
+        if int(self.jobs) < 1:
+            raise ExplorationError("jobs must be >= 1, got %r" % self.jobs)
+        if int(self.jobs) > 1 and not evaluator.parallel_safe:
+            raise ExplorationError(
+                "evaluator %r cannot run in a worker pool; register a "
+                "named picklable Evaluator instead of a callable"
+                % evaluator
+            )
+        if cache is not None and not evaluator.cacheable:
+            raise ExplorationError(
+                "evaluator %r has no stable cache key; run without a "
+                "cache or register a named Evaluator" % evaluator
+            )
+        return layouts, evaluator, cache
 
 
 class ExplorationResult:
@@ -30,9 +100,16 @@ class ExplorationResult:
         self.passing = set()
         #: The answer: safest configurations meeting the budget.
         self.recommended = []
+        #: Engine accounting (identical answers, different work done):
+        #: labelled = cache hits + fresh evaluator calls.
+        self.fresh_evaluations = 0
+        self.cache_hits = 0
+        #: Antichain waves the engine scheduled (0 for the serial walker).
+        self.waves = 0
 
     @property
     def evaluations(self):
+        """Configurations labelled with a measurement (however obtained)."""
         return len(self.measurements)
 
     def summary(self):
@@ -45,39 +122,118 @@ class ExplorationResult:
             "budget": self.budget,
         }
 
+    def engine_stats(self):
+        """How the engine did the labelling (cache reuse, wavefronts).
 
-def explore(layouts, measure, budget, assume_monotonic=True):
-    """Find the safest configurations with performance >= ``budget``.
+        Kept out of :meth:`summary` so trajectory points stay identical
+        between cold- and warm-cache runs of the same exploration.
+        """
+        labelled = self.cache_hits + self.fresh_evaluations
+        return {
+            "waves": self.waves,
+            "evaluated": self.evaluations,
+            "fresh_evaluations": self.fresh_evaluations,
+            "cache_hits": self.cache_hits,
+            "hit_rate": (self.cache_hits / labelled) if labelled else 0.0,
+        }
 
-    Args:
-        layouts: iterable of :class:`~repro.apps.base.ComponentLayout`.
-        measure: callable(layout) -> performance (higher is better).
-        budget: minimum acceptable performance.
-        assume_monotonic: enable path pruning (disable to verify the
-            assumption — the ablation benchmark does exactly that).
 
-    Returns an :class:`ExplorationResult`.
+def _finalize(result):
+    """Order measurements topologically and extract the answer.
+
+    The wavefront engine labels waves out of topological order; rebuilding
+    the dict here makes its iteration order — and therefore ties broken by
+    "first wins" downstream — bit-identical to the serial walker's.
     """
-    layouts = list(layouts)
-    if not layouts:
-        raise ExplorationError("nothing to explore")
+    order = result.poset.topological_order()
+    result.measurements = {
+        name: result.measurements[name]
+        for name in order if name in result.measurements
+    }
+    result.recommended = sorted(
+        result.poset.maximal_elements(result.passing)
+    )
+    return result
+
+
+def _evaluator_error(result, name, evaluator, exc):
+    """Wrap an evaluator failure, attaching the partial result."""
+    _finalize(result)
+    error = ExplorationError(
+        "evaluator %r failed on %r: %s" % (evaluator, name, exc),
+        partial=result,
+    )
+    return error
+
+
+def explore_serial(request):
+    """The reference walker: strictly serial, one node at a time.
+
+    The engine (:func:`repro.explore.parallel.run_exploration`) must be
+    result-identical to this function; it exists so that property can be
+    *checked* rather than trusted.
+    """
+    layouts, evaluator, _ = request.resolved()  # reference: never cached
     poset = ConfigPoset(layouts)
-    result = ExplorationResult(poset, budget)
+    result = ExplorationResult(poset, request.budget)
     failed = set()
 
     for name in poset.topological_order():
-        if assume_monotonic and (poset.less_safe_than(name) & failed):
+        if request.assume_monotonic and (poset.less_safe_than(name) & failed):
             # Some less-safe configuration already misses the budget; this
             # one can only be slower.
             result.pruned.add(name)
             failed.add(name)
             continue
-        performance = measure(poset.layouts[name])
+        try:
+            performance = evaluator(poset.layouts[name])
+        except Exception as exc:
+            raise _evaluator_error(result, name, evaluator, exc) from exc
+        result.fresh_evaluations += 1
         result.measurements[name] = performance
-        if performance >= budget:
+        if performance >= request.budget:
             result.passing.add(name)
         else:
             failed.add(name)
 
-    result.recommended = sorted(poset.maximal_elements(result.passing))
-    return result
+    return _finalize(result)
+
+
+def explore(request, measure=None, budget=None, assume_monotonic=True):
+    """Find the safest configurations with performance >= the budget.
+
+    The supported call is ``explore(ExplorationRequest(...))``; the
+    request selects the evaluator, worker count and cache, and the
+    wavefront engine returns an :class:`ExplorationResult`.
+
+    The legacy positional form ``explore(layouts, measure, budget,
+    assume_monotonic)`` is deprecated: it wraps ``measure`` in a
+    :class:`~repro.explore.evaluators.CallableEvaluator` (serial-only,
+    uncacheable) and warns.
+    """
+    from repro.explore.parallel import run_exploration
+
+    if isinstance(request, ExplorationRequest):
+        if measure is not None or budget is not None:
+            raise ExplorationError(
+                "explore(request) takes no extra arguments; put the "
+                "budget and evaluator in the ExplorationRequest"
+            )
+        return run_exploration(request)
+
+    warnings.warn(
+        "explore(layouts, measure, budget) is deprecated; build an "
+        "ExplorationRequest with a registered Evaluator instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if measure is None or budget is None:
+        raise ExplorationError(
+            "legacy explore() needs both a measure callable and a budget"
+        )
+    return run_exploration(ExplorationRequest(
+        layouts=request,
+        evaluator=CallableEvaluator(measure),
+        budget=budget,
+        assume_monotonic=assume_monotonic,
+    ))

@@ -106,6 +106,12 @@ class MetricsRegistry:
         self.irqs = {}
         #: "layer.op" (e.g. "vfscore.open") -> operations.
         self.fs_ops = {}
+        #: Exploration engine: wavefront and cache accounting.
+        self.explore_waves = 0
+        self.explore_scheduled = 0
+        self.explore_evaluated = 0
+        self.explore_cache_hits = 0
+        self.explore_pruned = 0
 
     # -- recording hooks (called by the Tracer) --------------------------------
     def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
@@ -166,6 +172,13 @@ class MetricsRegistry:
         key = "%s.%s" % (layer, op)
         self.fs_ops[key] = self.fs_ops.get(key, 0) + 1
 
+    def record_explore_wave(self, scheduled, evaluated, cache_hits, pruned):
+        self.explore_waves += 1
+        self.explore_scheduled += scheduled
+        self.explore_evaluated += evaluated
+        self.explore_cache_hits += cache_hits
+        self.explore_pruned += pruned
+
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):
         return sum(self.gate_crossings.values())
@@ -178,7 +191,21 @@ class MetricsRegistry:
         )
 
     def snapshot(self):
-        """A JSON-serialisable snapshot of every aggregate."""
+        """A JSON-serialisable snapshot of every aggregate.
+
+        The ``explore`` section appears only when the exploration engine
+        ran under this registry, so snapshots of runs that never explore
+        (the functional perf-gate baselines) keep their exact shape.
+        """
+        explore = {}
+        if self.explore_waves:
+            explore["explore"] = {
+                "waves": self.explore_waves,
+                "scheduled": self.explore_scheduled,
+                "evaluated": self.explore_evaluated,
+                "cache_hits": self.explore_cache_hits,
+                "pruned": self.explore_pruned,
+            }
         return {
             "counters": {
                 "gate_crossings": {
@@ -216,6 +243,7 @@ class MetricsRegistry:
                     for line, count in sorted(self.irqs.items())
                 },
                 "fs_ops": dict(sorted(self.fs_ops.items())),
+                **explore,
             },
             "histograms": {
                 "gate_latency_cycles": {

@@ -42,6 +42,7 @@ CATEGORIES = (
     "ept",          # one address-space switch or shared-window RPC alloc
     "irq",          # one interrupt delivery
     "fs",           # one VFS/ramfs operation
+    "explore",      # one exploration-engine wave scheduled
 )
 
 
@@ -120,6 +121,9 @@ class NullTracer:
         pass
 
     def fs_op(self, layer, op):
+        pass
+
+    def explore_wave(self, index, scheduled, evaluated, cache_hits, pruned):
         pass
 
     def instant(self, name, cat, **args):
@@ -296,6 +300,17 @@ class Tracer:
             args={"layer": layer, "op": op},
         ))
         self.metrics.record_fs_op(layer, op)
+
+    def explore_wave(self, index, scheduled, evaluated, cache_hits, pruned):
+        """The exploration engine finished one antichain wave."""
+        self._record(TraceEvent(
+            "wave-%d" % index, "explore", self._now(),
+            args={"wave": index, "scheduled": scheduled,
+                  "evaluated": evaluated, "cache_hits": cache_hits,
+                  "pruned": pruned},
+        ))
+        self.metrics.record_explore_wave(scheduled, evaluated, cache_hits,
+                                         pruned)
 
     # -- introspection ----------------------------------------------------------
     def events_in(self, cat):

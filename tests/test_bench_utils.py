@@ -32,6 +32,23 @@ class TestWayfinder:
         with pytest.raises(ExplorationError):
             result.value_of("ghost")
 
+    def test_duplicate_name_rejected(self):
+        result = SweepResult("req/s")
+        result.add("a", 1.0)
+        with pytest.raises(ExplorationError, match="duplicate"):
+            result.add("a", 2.0)
+        assert result.value_of("a") == 1.0  # first entry survives intact
+
+    def test_lookup_scales_to_large_sweeps(self):
+        result = SweepResult("req/s")
+        for i in range(5000):
+            result.add("cfg-%d" % i, float(i))
+        # Indexed lookups: position-independent and exact.
+        assert result.value_of("cfg-0") == 0.0
+        assert result.value_of("cfg-4999") == 4999.0
+        normalized = result.normalized_to("cfg-1000")
+        assert normalized["cfg-2000"] == 2.0
+
     def test_empty_sweep_rejected(self):
         with pytest.raises(ExplorationError):
             Wayfinder().sweep([], lambda c: 0)

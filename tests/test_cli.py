@@ -90,33 +90,70 @@ class TestTcb:
 
 class TestExplore:
     def test_redis_exploration(self):
-        code, output = run(["explore", "--app", "redis",
+        code, output = run(["explore", "run", "--app", "redis",
                             "--budget", "500000"])
         assert code == 0
         assert "explored 80 configurations" in output
         assert "starred" in output
 
     def test_impossible_budget(self):
-        code, output = run(["explore", "--app", "nginx",
+        code, output = run(["explore", "run", "--app", "nginx",
                             "--budget", "999999999"])
         assert code == 0
         assert "no configuration meets the budget" in output
 
     def test_full_space_flag(self):
-        code, output = run(["explore", "--app", "redis",
+        code, output = run(["explore", "run", "--app", "redis",
                             "--budget", "500000", "--full-space"])
         assert code == 0
         assert "explored 224 configurations" in output
 
     def test_dot_output(self, tmp_path):
         dot_path = str(tmp_path / "poset.dot")
-        code, output = run(["explore", "--app", "redis",
+        code, output = run(["explore", "run", "--app", "redis",
                             "--budget", "500000", "--dot", dot_path])
         assert code == 0
         with open(dot_path) as handle:
             content = handle.read()
         assert content.startswith("digraph flexos_poset")
         assert "peripheries=3" in content  # stars present
+
+    def test_cached_rerun_is_all_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["explore", "run", "--app", "redis", "--budget", "500000",
+                "--cache", "--cache-dir", cache_dir]
+        code, cold = run(argv)
+        assert code == 0
+        code, warm = run(argv)
+        assert code == 0
+        assert "19 hit(s), 0 fresh evaluation(s)" in warm
+        assert "hit rate 100%" in warm
+        # The cache changes where numbers come from, not what they are.
+        assert cold.splitlines()[-5:] == warm.splitlines()[-5:]
+
+    def test_json_format_and_stats_out(self, tmp_path):
+        import json
+
+        stats_path = str(tmp_path / "stats.json")
+        code, output = run(["explore", "run", "--app", "redis",
+                            "--budget", "500000", "--jobs", "2",
+                            "--format", "json",
+                            "--stats-out", stats_path])
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["summary"]["configurations"] == 80
+        assert payload["engine"]["waves"] >= 1
+        with open(stats_path) as handle:
+            stats = json.load(handle)
+        assert stats["fresh_evaluations"] == stats["evaluated"]
+
+    def test_synthetic_evaluator_is_seeded(self):
+        argv = ["explore", "run", "--evaluator", "synthetic",
+                "--budget", "600000", "--seed", "7"]
+        assert run(argv) == run(argv)
+        code, output = run(argv)
+        assert code == 0
+        assert "explored 80 configurations" in output
 
 
 class TestTable1:

@@ -11,6 +11,8 @@ from repro.core.hardening import FIG6_HARDENING, Hardening
 from repro.errors import ExplorationError
 from repro.explore import (
     ConfigPoset,
+    ExplorationRequest,
+    ProfileEvaluator,
     explore,
     generate_fig6_space,
     hardening_subsets,
@@ -175,17 +177,18 @@ class TestPoset:
 
 
 class TestExplorer:
-    def measure(self, l):
-        return evaluate_profile(
-            REDIS_GET_PROFILE, l, DEFAULT_COSTS, "redis",
-        )["requests_per_second"]
+    evaluator = ProfileEvaluator(app="redis")
+
+    def run(self, budget, **kw):
+        return explore(ExplorationRequest(
+            layouts=generate_fig6_space(), evaluator=self.evaluator,
+            budget=budget, **kw,
+        ))
 
     def test_pruning_matches_exhaustive_answer(self):
         """Monotone pruning must not change the recommendation set."""
-        layouts = generate_fig6_space()
-        pruned = explore(layouts, self.measure, budget=500_000)
-        full = explore(layouts, self.measure, budget=500_000,
-                       assume_monotonic=False)
+        pruned = self.run(budget=500_000)
+        full = self.run(budget=500_000, assume_monotonic=False)
         assert pruned.recommended == full.recommended
         assert pruned.evaluations < full.evaluations
         assert full.evaluations == 80
@@ -193,43 +196,53 @@ class TestExplorer:
     def test_pruning_limits_combinatorial_explosion(self):
         """"we observe that this significantly limits combinatorial
         explosion" — at least a third of the space goes unmeasured."""
-        result = explore(generate_fig6_space(), self.measure,
-                         budget=500_000)
+        result = self.run(budget=500_000)
         assert len(result.pruned) >= len(result.poset) / 3
 
     def test_recommendations_meet_budget(self):
-        result = explore(generate_fig6_space(), self.measure,
-                         budget=500_000)
+        result = self.run(budget=500_000)
         for name in result.recommended:
-            assert self.measure(result.poset.layouts[name]) >= 500_000
+            assert self.evaluator(result.poset.layouts[name]) >= 500_000
 
     def test_recommendations_are_maximal(self):
-        result = explore(generate_fig6_space(), self.measure,
-                         budget=500_000)
+        result = self.run(budget=500_000)
         for name in result.recommended:
             safer = result.poset.safer_than(name)
             assert not (safer & result.passing)
 
     def test_impossible_budget_recommends_nothing(self):
-        result = explore(generate_fig6_space(), self.measure,
-                         budget=10**12)
+        result = self.run(budget=10**12)
         assert result.recommended == []
         # The single minimal element is measured, everything else pruned.
         assert result.evaluations == 1
 
     def test_trivial_budget_recommends_safest(self):
-        result = explore(generate_fig6_space(), self.measure, budget=0)
+        result = self.run(budget=0)
         assert result.passing == set(result.poset.layouts)
         assert set(result.recommended) == \
             set(result.poset.maximal_elements())
 
     def test_empty_space_rejected(self):
         with pytest.raises(ExplorationError):
-            explore([], self.measure, budget=1)
+            explore(ExplorationRequest(
+                layouts=[], evaluator=self.evaluator, budget=1,
+            ))
 
     def test_summary_fields(self):
-        result = explore(generate_fig6_space(), self.measure,
-                         budget=500_000)
+        result = self.run(budget=500_000)
         summary = result.summary()
         assert summary["configurations"] == 80
         assert summary["evaluated"] + summary["pruned"] == 80
+
+    def test_legacy_callable_signature_warns_but_works(self):
+        """The pre-request positional API still answers, deprecated."""
+        layouts = generate_fig6_space()
+
+        def measure(l):
+            return evaluate_profile(
+                REDIS_GET_PROFILE, l, DEFAULT_COSTS, "redis",
+            )["requests_per_second"]
+
+        with pytest.deprecated_call():
+            legacy = explore(layouts, measure, budget=500_000)
+        assert legacy.recommended == self.run(budget=500_000).recommended

@@ -2,22 +2,27 @@
 
 import pytest
 
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
-from repro.explore import explore, generate_fig6_space
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
 from repro.explore.formal import certify
-from repro.hw.costs import DEFAULT_COSTS
+
+EVALUATOR = ProfileEvaluator(app="redis")
 
 
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
+def run(budget=500_000, **kw):
+    return explore(ExplorationRequest(
+        layouts=generate_fig6_space(), evaluator=EVALUATOR,
+        budget=budget, **kw,
+    ))
 
 
 @pytest.fixture(scope="module")
 def result():
-    return explore(generate_fig6_space(), measure, budget=500_000)
+    return run()
 
 
 class TestCertification:
@@ -27,17 +32,14 @@ class TestCertification:
         assert all(certificate.verified.values())
 
     def test_exhaustive_run_also_certifies(self):
-        result = explore(generate_fig6_space(), measure, budget=500_000,
-                         assume_monotonic=False)
-        assert certify(result).valid
+        assert certify(run(assume_monotonic=False)).valid
 
     def test_multiple_budgets_certify(self):
         for budget in (0, 300_000, 700_000, 10**12):
-            result = explore(generate_fig6_space(), measure, budget=budget)
-            assert certify(result).valid, budget
+            assert certify(run(budget=budget)).valid, budget
 
     def test_unsound_recommendation_caught(self, result):
-        tampered = explore(generate_fig6_space(), measure, budget=500_000)
+        tampered = run()
         tampered.recommended = list(tampered.recommended) + ["A/none"]
         certificate = certify(tampered)
         assert not certificate.valid
@@ -45,21 +47,21 @@ class TestCertification:
         assert any("maximality" in v for v in certificate.violations)
 
     def test_missing_recommendation_caught(self):
-        tampered = explore(generate_fig6_space(), measure, budget=500_000)
+        tampered = run()
         tampered.recommended = tampered.recommended[:-1]
         certificate = certify(tampered)
         assert not certificate.valid
         assert any("completeness" in v for v in certificate.violations)
 
     def test_budget_violation_caught(self):
-        tampered = explore(generate_fig6_space(), measure, budget=500_000)
+        tampered = run()
         victim = tampered.recommended[0]
         tampered.measurements[victim] = 1.0  # forge a failing measurement
         certificate = certify(tampered)
         assert any("soundness" in v for v in certificate.violations)
 
     def test_unjustified_prune_caught(self):
-        tampered = explore(generate_fig6_space(), measure, budget=500_000)
+        tampered = run()
         # Prune the global minimum, which has no failing ancestor.
         tampered.measurements.pop("A/none")
         tampered.passing.discard("A/none")
@@ -68,7 +70,7 @@ class TestCertification:
         assert any("prune-safety" in v for v in certificate.violations)
 
     def test_coverage_hole_caught(self, result):
-        tampered = explore(generate_fig6_space(), measure, budget=500_000)
+        tampered = run()
         dropped = next(iter(tampered.pruned))
         tampered.pruned.discard(dropped)
         certificate = certify(tampered)

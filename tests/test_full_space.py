@@ -2,22 +2,24 @@
 
 import random
 
-import pytest
-
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE
 from repro.bench import Wayfinder
-from repro.explore import explore
+from repro.explore import (
+    CallableEvaluator,
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+)
 from repro.explore.configspace import generate_fig6_space, generate_full_space
 from repro.explore.formal import certify
 from repro.explore.poset import ConfigPoset
-from repro.hw.costs import DEFAULT_COSTS
+
+EVALUATOR = ProfileEvaluator(app="redis")
 
 
-def measure(layout):
-    return evaluate_profile(
-        REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-    )["requests_per_second"]
+def run(layouts, evaluator=EVALUATOR, budget=500_000):
+    return explore(ExplorationRequest(
+        layouts=layouts, evaluator=evaluator, budget=budget,
+    ))
 
 
 class TestFullSpace:
@@ -48,14 +50,14 @@ class TestFullSpace:
 
     def test_exploration_scales_and_certifies(self):
         layouts = generate_full_space()
-        result = explore(layouts, measure, budget=500_000)
+        result = run(layouts)
         assert result.evaluations < len(layouts) / 2  # pruning bites
         assert certify(result).valid
 
     def test_full_space_finds_at_least_as_safe_answers(self):
         """A superset space can only improve (or match) the answer."""
-        fig6 = explore(generate_fig6_space(), measure, budget=500_000)
-        full = explore(generate_full_space(), measure, budget=500_000)
+        fig6 = run(generate_fig6_space())
+        full = run(generate_full_space())
         assert len(full.passing) >= len(fig6.passing)
 
 
@@ -67,14 +69,15 @@ class TestNoisyExploration:
         wayfinder = Wayfinder()
 
         def noisy_measure(layout):
-            sweep = wayfinder.sweep([layout], measure, repetitions=5,
+            sweep = wayfinder.sweep([layout], EVALUATOR, repetitions=5,
                                     noise=rng)
             return sweep.value_of(layout.name)
 
-        result = explore(generate_fig6_space(), noisy_measure,
-                         budget=500_000)
+        result = run(generate_fig6_space(),
+                     evaluator=CallableEvaluator(noisy_measure,
+                                                 label="noisy-redis"))
         assert certify(result).valid
         # The answer matches the noise-free one up to budget-line churn.
-        clean = explore(generate_fig6_space(), measure, budget=500_000)
+        clean = run(generate_fig6_space())
         overlap = set(result.recommended) & set(clean.recommended)
         assert overlap  # the core of the recommendation set is stable

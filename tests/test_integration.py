@@ -12,11 +12,15 @@ from repro import (
     build_image,
     loads_config,
 )
-from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE, RedisApp, redis_benchmark_client
+from repro.apps.redis import RedisApp, redis_benchmark_client
 from repro.apps.host import HostEndpoint
-from repro.explore import explore, generate_fig6_space
-from repro.hw.costs import CostModel, DEFAULT_COSTS
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
+from repro.hw.costs import CostModel
 from repro.kernel.net.device import LinkedDevices
 
 
@@ -108,17 +112,17 @@ class TestMeltdownScenario:
 
 
 class TestExplorationEndToEnd:
+    def request(self, budget):
+        return ExplorationRequest(
+            layouts=generate_fig6_space(),
+            evaluator=ProfileEvaluator(app="redis"),
+            budget=budget,
+        )
+
     def test_redis_500k_budget_recommends_small_safe_set(self):
         """Section 6.2: the 80-config space prunes to a handful of
         safest configurations at >= 500K req/s."""
-        layouts = generate_fig6_space()
-
-        def measure(layout):
-            return evaluate_profile(
-                REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-            )["requests_per_second"]
-
-        result = explore(layouts, measure, budget=500_000)
+        result = explore(self.request(budget=500_000))
         assert 1 <= len(result.recommended) <= 12
         assert result.evaluations < 80
         # Every recommended config really holds 500K req/s.
@@ -129,15 +133,8 @@ class TestExplorationEndToEnd:
         """Use case: lowering the budget never removes safety — the
         recommended set under a lower budget dominates (is at least as
         safe as) some member of the higher-budget set."""
-        layouts = generate_fig6_space()
-
-        def measure(layout):
-            return evaluate_profile(
-                REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-            )["requests_per_second"]
-
-        tight = explore(layouts, measure, budget=800_000)
-        loose = explore(layouts, measure, budget=400_000)
+        tight = explore(self.request(budget=800_000))
+        loose = explore(self.request(budget=400_000))
         assert len(loose.passing) > len(tight.passing)
         # Everything passing the tight budget also passes the loose one.
         assert tight.passing <= loose.passing

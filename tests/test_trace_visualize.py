@@ -3,10 +3,15 @@
 import pytest
 
 from repro.apps.base import evaluate_profile
-from repro.apps.redis import REDIS_GET_PROFILE, RedisApp, redis_benchmark_client
+from repro.apps.redis import RedisApp, redis_benchmark_client
 from repro.bench.trace import ProfileRecorder
 from repro.errors import ReproError
-from repro.explore import explore, generate_fig6_space
+from repro.explore import (
+    ExplorationRequest,
+    ProfileEvaluator,
+    explore,
+    generate_fig6_space,
+)
 from repro.explore.visualize import exploration_to_dot, poset_to_dot
 from repro.explore.poset import ConfigPoset
 from repro.hw.costs import DEFAULT_COSTS
@@ -132,12 +137,11 @@ class TestDotOutput:
         assert "->" in dot
 
     def test_exploration_dot_marks_stars_and_shades(self):
-        def measure(layout):
-            return evaluate_profile(
-                REDIS_GET_PROFILE, layout, DEFAULT_COSTS, "redis",
-            )["requests_per_second"]
-
-        result = explore(generate_fig6_space(), measure, budget=500_000)
+        result = explore(ExplorationRequest(
+            layouts=generate_fig6_space(),
+            evaluator=ProfileEvaluator(app="redis"),
+            budget=500_000,
+        ))
         dot = exploration_to_dot(result)
         for name in result.recommended:
             assert '* %s' % name in dot
