@@ -191,16 +191,48 @@ class MpkLightGate(Gate):
 
     kind = "mpk-light"
 
+    def __init__(self, src, dst, costs):
+        super().__init__(src, dst, costs)
+        #: Cached (signature, deny_mask, allow_mask) for this edge.  The
+        #: signature captures everything the masks derive from, so a
+        #: post-boot ``create_restricted_domain`` (which reassigns the
+        #: callee's ``shared_pkeys``) recomputes on the next crossing.
+        self._transition_cache = None
+
     def one_way_cost(self):
         return self.costs.gate_mpk_light
 
+    def _transition_masks(self):
+        """The edge's PKRU transition as two key masks, cached."""
+        signature = (self.src.pkey, self.dst.pkey, self.dst.shared_pkeys)
+        cached = self._transition_cache
+        if cached is not None and cached[0] == signature:
+            return cached[1], cached[2]
+        deny = 0
+        for key in self.src.private_keys():
+            deny |= 1 << key
+        allow = 0
+        for key in self.dst.allowed_keys():
+            allow |= 1 << key
+        self._transition_cache = (signature, deny, allow)
+        return deny, allow
+
     def _enter(self, ctx):
-        snap = ctx.pkru.snapshot() if ctx.pkru is not None else None
-        if ctx.pkru is not None:
+        pkru = ctx.pkru
+        if pkru is None:
+            return None
+        snap = pkru.snapshot()
+        if obs.ACTIVE.enabled:
+            # Traced path: per-key register writes, so the pkru event
+            # stream (and the counters the perf baselines pin) is exactly
+            # what the uncached gate emitted.
             for key in self.src.private_keys():
-                ctx.pkru.deny(key)
+                pkru.deny(key)
             for key in self.dst.allowed_keys():
-                ctx.pkru.allow(key)
+                pkru.allow(key)
+        else:
+            deny, allow = self._transition_masks()
+            pkru.apply_transition(deny, allow)
         return snap
 
     def _leave(self, ctx, state):
@@ -258,6 +290,11 @@ class EptRpcGate(Gate):
         self.window = window
         self.legal_entries = legal_entries
         self.serviced = 0
+        #: Function objects already validated against ``legal_entries``.
+        #: Entry-point legality is a property of the function, not the
+        #: call, so repeated RPCs to the same entry skip re-validation
+        #: (argument Iago checks still run on every call).
+        self._entry_cache = set()
 
     def one_way_cost(self):
         return self.costs.gate_ept
@@ -266,10 +303,13 @@ class EptRpcGate(Gate):
         # The RPC server checks the function pointer before executing it:
         # the EPT backend's stronger CFI (entry *and* exit control).
         name = getattr(func, "__name__", str(func))
-        declared_entry = getattr(func, "__flexos_entry__", False)
-        if (self.legal_entries is not None and name not in self.legal_entries
-                and not declared_entry):
-            raise EntryPointViolation(name, self.dst.name)
+        if func not in self._entry_cache:
+            declared_entry = getattr(func, "__flexos_entry__", False)
+            if (self.legal_entries is not None
+                    and name not in self.legal_entries
+                    and not declared_entry):
+                raise EntryPointViolation(name, self.dst.name)
+            self._entry_cache.add(func)
         self._check_arguments(name, args, kwargs)
         self.serviced += 1
         return super().call(ctx, library, func, args, kwargs)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.errors import ReproError
+from repro.hw.tlb import PermissionTLB, default_enabled
 
 _CURRENT = None
 
@@ -74,6 +75,11 @@ class ExecutionContext:
         self.compartment = compartment
         self.pkru = pkru
         self.address_space = address_space
+        #: Per-context permission TLB consulted by ``MMU.check``; None
+        #: (the ``FLEXOS_TLB=off`` kill switch) forces every check down
+        #: the slow path.  Purely a wall-clock optimisation — see
+        #: :mod:`repro.hw.tlb`.
+        self.tlb = PermissionTLB() if default_enabled() else None
         self.current_library = None
         self.current_thread = None
         #: Gate-transition counters, keyed by (from_comp, to_comp).

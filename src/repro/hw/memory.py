@@ -16,6 +16,7 @@ import enum
 
 from repro.errors import AllocationError, ConfigError
 from repro.hw.mpk import DEFAULT_PKEY
+from repro.hw.tlb import bump_epoch
 
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
@@ -98,8 +99,14 @@ class Region:
         return self._bytes
 
     def set_pkey(self, pkey):
-        """Re-stamp the region's protection key (boot-time protection)."""
+        """Re-stamp the region's protection key (boot-time protection).
+
+        Bumps the global protection epoch: a re-stamp changes what every
+        cached permission-TLB verdict for this region means, exactly like
+        a PTE rewrite forces a TLB shootdown on real hardware.
+        """
         self.pkey = pkey
+        bump_epoch()
 
     def __repr__(self):
         return "Region(%s @0x%x +0x%x pkey=%d comp=%s %s)" % (
@@ -121,6 +128,7 @@ class PhysicalMemory:
         self._cursor = base
         self._bases = []     # sorted region base addresses
         self._regions = []   # regions, parallel to _bases
+        self._by_compartment = {}  # compartment id -> [regions]
 
     def add_region(self, name, size, perm=Perm.RW, pkey=DEFAULT_PKEY,
                    compartment=None, kind="data"):
@@ -131,9 +139,13 @@ class PhysicalMemory:
         region = Region(name, self._cursor, size, perm=perm, pkey=pkey,
                         compartment=compartment, kind=kind)
         self._cursor += size
-        idx = bisect.bisect(self._bases, region.base)
-        self._bases.insert(idx, region.base)
-        self._regions.insert(idx, region)
+        # Bump allocation hands out strictly increasing bases, so the
+        # sorted order bisection relies on is append order.
+        assert not self._bases or region.base > self._bases[-1], \
+            "bump allocator produced a non-monotonic base"
+        self._bases.append(region.base)
+        self._regions.append(region)
+        self._by_compartment.setdefault(compartment, []).append(region)
         return region
 
     def region_at(self, addr):
@@ -148,7 +160,7 @@ class PhysicalMemory:
         return list(self._regions)
 
     def regions_of(self, compartment):
-        return [r for r in self._regions if r.compartment == compartment]
+        return list(self._by_compartment.get(compartment, ()))
 
     def __repr__(self):
         return "PhysicalMemory(%d regions, cursor=0x%x)" % (
@@ -228,6 +240,10 @@ class ByteBuffer:
         length = self.size - start if length is None else length
         self._bounds(start, length)
         ctx.mmu.check(ctx, self.region, AccessType.READ, symbol=self.symbol)
+        if length == 0:
+            # Still protection-checked above, but free: no cycles, and no
+            # materializing the region's backing store for an empty slice.
+            return b""
         ctx.clock.charge(ctx.costs.memcpy_per_byte * length)
         data = self.region.backing()
         lo = self.offset + start
@@ -236,10 +252,56 @@ class ByteBuffer:
     def write_bytes(self, ctx, payload, start=0):
         self._bounds(start, len(payload))
         ctx.mmu.check(ctx, self.region, AccessType.WRITE, symbol=self.symbol)
+        if not payload:
+            return
         ctx.clock.charge(ctx.costs.memcpy_per_byte * len(payload))
         data = self.region.backing()
         lo = self.offset + start
         data[lo:lo + len(payload)] = payload
+
+    def read_vec(self, ctx, spans):
+        """Gather: read ``[(start, length), ...]`` with one check.
+
+        The batched equivalent of one :meth:`read_bytes` per span — same
+        bounds errors, same fault behaviour, and the same total cycle
+        charge (``memcpy_per_byte`` × total bytes) — but the whole batch
+        is validated by a single MMU check, since every span lives in the
+        same region under the same protection state.  Returns the list of
+        payloads in span order.
+        """
+        spans = list(spans)
+        for start, length in spans:
+            self._bounds(start, length)
+        ctx.mmu.check(ctx, self.region, AccessType.READ, symbol=self.symbol)
+        total = sum(length for _, length in spans)
+        if total == 0:
+            return [b"" for _ in spans]
+        ctx.clock.charge(ctx.costs.memcpy_per_byte * total)
+        data = self.region.backing()
+        base = self.offset
+        return [
+            bytes(data[base + start:base + start + length])
+            for start, length in spans
+        ]
+
+    def write_vec(self, ctx, spans):
+        """Scatter: write ``[(start, payload), ...]`` with one check.
+
+        Mirror of :meth:`read_vec`; returns total bytes written.
+        """
+        spans = [(start, payload) for start, payload in spans]
+        for start, payload in spans:
+            self._bounds(start, len(payload))
+        ctx.mmu.check(ctx, self.region, AccessType.WRITE, symbol=self.symbol)
+        total = sum(len(payload) for _, payload in spans)
+        if total == 0:
+            return 0
+        ctx.clock.charge(ctx.costs.memcpy_per_byte * total)
+        data = self.region.backing()
+        base = self.offset
+        for start, payload in spans:
+            data[base + start:base + start + len(payload)] = payload
+        return total
 
     def _bounds(self, start, length):
         if start < 0 or length < 0 or start + length > self.size:

@@ -31,8 +31,17 @@ class PKRU:
     def __init__(self, allowed=(DEFAULT_PKEY,)):
         self._access_disable = (1 << NUM_PKEYS) - 1
         self._write_disable = (1 << NUM_PKEYS) - 1
+        #: Both masks packed into one integer — the register value a real
+        #: ``rdpkru`` would return.  The permission TLB tags cached
+        #: verdicts with this word, so any register write (including a
+        #: gate restore on the way back) revalidates or invalidates them
+        #: without a flush, exactly like hardware ``wrpkru``.
+        self.word = self._pack()
         for key in allowed:
             self.allow(key)
+
+    def _pack(self):
+        return (self._access_disable << NUM_PKEYS) | self._write_disable
 
     @staticmethod
     def _check_key(key):
@@ -47,6 +56,7 @@ class PKRU:
             self._write_disable &= ~(1 << key)
         else:
             self._write_disable |= 1 << key
+        self.word = self._pack()
         tracer = obs.ACTIVE
         if tracer.enabled:
             tracer.pkru_write("allow", key)
@@ -56,6 +66,7 @@ class PKRU:
         self._check_key(key)
         self._access_disable |= 1 << key
         self._write_disable |= 1 << key
+        self.word = self._pack()
         tracer = obs.ACTIVE
         if tracer.enabled:
             tracer.pkru_write("deny", key)
@@ -74,9 +85,25 @@ class PKRU:
 
     def restore(self, snap):
         self._access_disable, self._write_disable = snap
+        self.word = self._pack()
         tracer = obs.ACTIVE
         if tracer.enabled:
             tracer.pkru_write("restore", None)
+
+    def apply_transition(self, deny_mask, allow_mask):
+        """Apply a precomputed gate transition as one register write.
+
+        ``deny_mask`` keys lose all rights, then ``allow_mask`` keys gain
+        read+write — the batched equivalent of the per-key ``deny``/
+        ``allow`` loop a gate entry performs, collapsed into the single
+        ``wrpkru`` the real hardware would execute.  Gates use this only
+        with tracing disabled: the traced path keeps the per-key loop so
+        the ``pkru`` event stream (and its counters, pinned by the perf
+        baselines) is unchanged.
+        """
+        self._access_disable = (self._access_disable | deny_mask) & ~allow_mask
+        self._write_disable = (self._write_disable | deny_mask) & ~allow_mask
+        self.word = self._pack()
 
     def allowed_keys(self):
         """Set of keys with at least read access."""

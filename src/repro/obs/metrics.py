@@ -112,6 +112,8 @@ class MetricsRegistry:
         self.explore_evaluated = 0
         self.explore_cache_hits = 0
         self.explore_pruned = 0
+        #: Permission-TLB events ("hit"/"miss"/"flush").
+        self.tlb = {"hit": 0, "miss": 0, "flush": 0}
 
     # -- recording hooks (called by the Tracer) --------------------------------
     def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
@@ -179,6 +181,9 @@ class MetricsRegistry:
         self.explore_cache_hits += cache_hits
         self.explore_pruned += pruned
 
+    def record_tlb(self, op):
+        self.tlb[op] = self.tlb.get(op, 0) + 1
+
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):
         return sum(self.gate_crossings.values())
@@ -193,9 +198,10 @@ class MetricsRegistry:
     def snapshot(self):
         """A JSON-serialisable snapshot of every aggregate.
 
-        The ``explore`` section appears only when the exploration engine
-        ran under this registry, so snapshots of runs that never explore
-        (the functional perf-gate baselines) keep their exact shape.
+        The ``explore`` and ``tlb`` sections appear only when those
+        subsystems ran under this registry, so snapshots of runs that
+        never touch them (the functional perf-gate baselines predate
+        both) keep their exact shape.
         """
         explore = {}
         if self.explore_waves:
@@ -206,6 +212,8 @@ class MetricsRegistry:
                 "cache_hits": self.explore_cache_hits,
                 "pruned": self.explore_pruned,
             }
+        if any(self.tlb.values()):
+            explore["tlb"] = dict(sorted(self.tlb.items()))
         return {
             "counters": {
                 "gate_crossings": {

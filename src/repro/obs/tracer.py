@@ -43,6 +43,7 @@ CATEGORIES = (
     "irq",          # one interrupt delivery
     "fs",           # one VFS/ramfs operation
     "explore",      # one exploration-engine wave scheduled
+    "tlb",          # one permission-TLB hit, miss, or flush
 )
 
 
@@ -124,6 +125,9 @@ class NullTracer:
         pass
 
     def explore_wave(self, index, scheduled, evaluated, cache_hits, pruned):
+        pass
+
+    def tlb_op(self, op):
         pass
 
     def instant(self, name, cat, **args):
@@ -311,6 +315,16 @@ class Tracer:
         ))
         self.metrics.record_explore_wave(scheduled, evaluated, cache_hits,
                                          pruned)
+
+    def tlb_op(self, op):
+        """One permission-TLB event (``hit``/``miss``/``flush``).
+
+        Counter-only by default: hits happen on every hot-path access, so
+        recording an event object per hit would swamp the stream and the
+        exporters.  The aggregate lands in the metrics snapshot's ``tlb``
+        section (which appears only when the TLB actually ran).
+        """
+        self.metrics.record_tlb(op)
 
     # -- introspection ----------------------------------------------------------
     def events_in(self, cat):

@@ -1,0 +1,290 @@
+"""Permission-TLB tests: caching, epoch invalidation, differential equivalence.
+
+The contract under test (see :mod:`repro.hw.tlb`): the TLB is a pure
+wall-clock optimisation.  Faults, virtual cycles, the ``mmu.checks``
+coverage counter, and every metric except the ``tlb`` section itself must
+be bit-identical with the cache enabled and disabled (``FLEXOS_TLB=off``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CompartmentSpec
+from repro.core.gates import MpkLightGate
+from repro.core.image import Compartment
+from repro.errors import ProtectionFault
+from repro.hw.clock import Clock
+from repro.hw.cpu import ExecutionContext
+from repro.hw.ept import AddressSpace
+from repro.hw.memory import AccessType, MemoryObject, PhysicalMemory
+from repro.hw.mmu import MMU
+from repro.hw.mpk import PKRU
+from repro.hw.costs import CostModel
+from repro.hw.tlb import PermissionTLB, default_enabled
+from repro.obs import Tracer, tracing
+
+
+def make_world(pkru_keys=(0, 1)):
+    """A minimal MPK world: two regions (pkey 1 ours, pkey 2 foreign)."""
+    costs = CostModel.xeon_4114()
+    memory = PhysicalMemory()
+    mmu = MMU(memory, costs)
+    ctx = ExecutionContext(Clock(), costs, mmu, compartment=0,
+                           pkru=PKRU(allowed=pkru_keys))
+    ours = memory.add_region(".data.ours", 4096, pkey=1, compartment=1)
+    theirs = memory.add_region(".data.theirs", 4096, pkey=2, compartment=2)
+    return ctx, ours, theirs
+
+
+class TestKillSwitch:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("FLEXOS_TLB", raising=False)
+        assert default_enabled()
+        ctx, _, _ = make_world()
+        assert isinstance(ctx.tlb, PermissionTLB)
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no", "OFF"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("FLEXOS_TLB", value)
+        assert not default_enabled()
+        ctx, _, _ = make_world()
+        assert ctx.tlb is None
+
+    def test_explicit_on(self, monkeypatch):
+        monkeypatch.setenv("FLEXOS_TLB", "on")
+        assert default_enabled()
+
+
+class TestHitsAndMisses:
+    def test_repeat_access_hits(self):
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours, value=1)
+        for _ in range(5):
+            assert obj.read(ctx) == 1
+        assert ctx.tlb.misses == 1
+        assert ctx.tlb.hits == 4
+        assert ctx.mmu.checks == 5  # a hit is still a check
+
+    def test_access_types_cached_separately(self):
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours)
+        obj.read(ctx)
+        obj.write(ctx, 2)
+        obj.read(ctx)
+        obj.write(ctx, 3)
+        assert ctx.tlb.misses == 2
+        assert ctx.tlb.hits == 2
+
+    def test_denials_never_cached(self):
+        ctx, _, theirs = make_world()
+        obj = MemoryObject("secret", theirs)
+        for _ in range(3):
+            with pytest.raises(ProtectionFault):
+                obj.read(ctx)
+        assert ctx.tlb.hits == 0
+        assert ctx.tlb.misses == 0
+        assert len(ctx.tlb.entries) == 0
+
+    def test_capacity_flush(self):
+        ctx, ours, _ = make_world()
+        ctx.tlb.capacity = 2
+        ctx.mmu.check(ctx, ours, AccessType.READ)
+        ctx.mmu.check(ctx, ours, AccessType.WRITE)
+        ctx.mmu.check(ctx, ours, AccessType.READ)  # hit, no insert
+        assert ctx.tlb.flushes == 0
+        other = ctx.mmu.memory.add_region(".data.more", 4096, pkey=1,
+                                          compartment=1)
+        ctx.mmu.check(ctx, other, AccessType.READ)  # third entry: flush
+        assert ctx.tlb.flushes == 1
+        assert len(ctx.tlb.entries) == 1
+
+
+class TestInvalidation:
+    def test_set_pkey_invalidates(self):
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours)
+        obj.read(ctx)
+        obj.read(ctx)
+        assert ctx.tlb.hits == 1
+        ours.set_pkey(2)  # re-stamp to a key this PKRU denies
+        with pytest.raises(ProtectionFault):
+            obj.read(ctx)
+
+    def test_enforcing_toggle_invalidates(self):
+        ctx, _, theirs = make_world()
+        obj = MemoryObject("secret", theirs)
+        ctx.mmu.enforcing = False
+        obj.read(ctx)  # bypassed, must not be cached as allowed
+        ctx.mmu.enforcing = True
+        with pytest.raises(ProtectionFault):
+            obj.read(ctx)
+
+    def test_reenabled_after_allowed_access_still_faults(self):
+        # The fault-injection pattern: cache a legitimate allow, break
+        # the hardware, fix it, re-stamp — the stale verdict must die.
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours)
+        obj.read(ctx)
+        ctx.mmu.enforcing = False
+        ctx.mmu.enforcing = True
+        ours.set_pkey(2)
+        with pytest.raises(ProtectionFault):
+            obj.read(ctx)
+
+    def test_pkru_word_revalidates_across_gate_roundtrip(self):
+        # wrpkru does not flush the TLB: entries cached before a gate
+        # crossing must hit again after the restore, without a miss.
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours)
+        obj.read(ctx)
+        src = Compartment(0, CompartmentSpec("comp1", default=True), ["a"])
+        dst = Compartment(1, CompartmentSpec("comp2"), ["lwip"])
+        src.pkey, dst.pkey = 1, 2
+        src.shared_pkeys = dst.shared_pkeys = ()
+        gate = MpkLightGate(src, dst, ctx.costs)
+
+        def inside():
+            # Caller's private key is denied in here: the cached verdict
+            # must not validate under the callee's PKRU word.
+            with pytest.raises(ProtectionFault):
+                obj.read(ctx)
+
+        gate.call(ctx, "lwip", inside, (), {})
+        misses_before = ctx.tlb.misses
+        obj.read(ctx)  # restored word matches the cached tag again
+        assert ctx.tlb.misses == misses_before
+        assert ctx.tlb.hits == 1
+
+    def test_address_space_map_unmap_invalidates(self):
+        costs = CostModel.xeon_4114()
+        memory = PhysicalMemory()
+        mmu = MMU(memory, costs)
+        space = AddressSpace("vm0")
+        ctx = ExecutionContext(Clock(), costs, mmu, compartment=0,
+                               address_space=space)
+        region = memory.add_region(".data.vm0", 4096, compartment=0)
+        space.map(region)
+        ctx.mmu.check(ctx, region, AccessType.READ)
+        ctx.mmu.check(ctx, region, AccessType.READ)
+        assert ctx.tlb.hits == 1
+        space.unmap(region)
+        with pytest.raises(ProtectionFault):
+            ctx.mmu.check(ctx, region, AccessType.READ)
+
+    def test_distinct_address_spaces_do_not_alias(self):
+        costs = CostModel.xeon_4114()
+        memory = PhysicalMemory()
+        mmu = MMU(memory, costs)
+        a, b = AddressSpace("vma"), AddressSpace("vmb")
+        assert a.asid != b.asid
+        region = memory.add_region(".data.shared", 4096)
+        a.map(region)
+        ctx = ExecutionContext(Clock(), costs, mmu, compartment=0,
+                               address_space=a)
+        ctx.mmu.check(ctx, region, AccessType.READ)
+        ctx.address_space = b  # EPT gate swaps the space wholesale
+        with pytest.raises(ProtectionFault):
+            ctx.mmu.check(ctx, region, AccessType.READ)
+
+
+class TestObservability:
+    def test_tlb_counters_in_metrics(self):
+        ctx, ours, _ = make_world()
+        obj = MemoryObject("cell", ours)
+        with tracing(Tracer(clock=ctx.clock)) as tracer:
+            obj.read(ctx)
+            obj.read(ctx)
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["tlb"] == {"flush": 0, "hit": 1, "miss": 1}
+
+    def test_tlb_section_absent_without_tlb_traffic(self):
+        with tracing(Tracer()) as tracer:
+            pass
+        assert "tlb" not in tracer.metrics.snapshot()["counters"]
+
+    def test_flush_counted(self):
+        ctx, ours, _ = make_world()
+        with tracing(Tracer(clock=ctx.clock)) as tracer:
+            ctx.mmu.check(ctx, ours, AccessType.READ)
+            ours.set_pkey(1)  # same key, still an epoch bump
+            ctx.mmu.check(ctx, ours, AccessType.READ)
+        counters = tracer.metrics.snapshot()["counters"]["tlb"]
+        assert counters["flush"] == 1
+        assert counters["miss"] == 2
+
+
+# -- differential property: TLB on == TLB off ------------------------------
+
+#: One random step of the trace.  Each op is (name, arg) where arg picks
+#: a region / key / span deterministically.
+_OPS = st.tuples(
+    st.sampled_from([
+        "read_ours", "write_ours", "read_theirs", "write_theirs",
+        "gate_roundtrip", "restamp_ours", "restamp_theirs",
+        "enforce_off", "enforce_on", "buffer_read",
+    ]),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def _replay(ops, tlb_enabled, monkeypatch):
+    """Run one trace; returns (fault log, cycles, checks, metrics)."""
+    monkeypatch.setenv("FLEXOS_TLB", "on" if tlb_enabled else "off")
+    ctx, ours, theirs = make_world()
+    assert (ctx.tlb is not None) == tlb_enabled
+    from repro.hw.memory import ByteBuffer
+
+    cell_ours = MemoryObject("ours", ours, value=0)
+    cell_theirs = MemoryObject("theirs", theirs, value=0)
+    buf = ByteBuffer("buf", ours, 0, 1024)
+    src = Compartment(0, CompartmentSpec("comp1", default=True), ["a"])
+    dst = Compartment(1, CompartmentSpec("comp2"), ["lwip"])
+    src.pkey, dst.pkey = 1, 2
+    src.shared_pkeys = dst.shared_pkeys = (0,)
+    gate = MpkLightGate(src, dst, ctx.costs)
+    faults = []
+    with tracing(Tracer(clock=ctx.clock)) as tracer:
+        for index, (op, arg) in enumerate(ops):
+            try:
+                if op == "read_ours":
+                    cell_ours.read(ctx)
+                elif op == "write_ours":
+                    cell_ours.write(ctx, arg)
+                elif op == "read_theirs":
+                    cell_theirs.read(ctx)
+                elif op == "write_theirs":
+                    cell_theirs.write(ctx, arg)
+                elif op == "gate_roundtrip":
+                    gate.call(ctx, "lwip", cell_ours.peek, (), {})
+                elif op == "restamp_ours":
+                    ours.set_pkey(arg)
+                elif op == "restamp_theirs":
+                    theirs.set_pkey(arg)
+                elif op == "enforce_off":
+                    ctx.mmu.enforcing = False
+                elif op == "enforce_on":
+                    ctx.mmu.enforcing = True
+                elif op == "buffer_read":
+                    buf.read_bytes(ctx, arg * 64, 64)
+            except ProtectionFault as fault:
+                faults.append((index, fault.symbol, fault.access))
+    metrics = tracer.metrics.snapshot()
+    metrics["counters"].pop("tlb", None)  # the only permitted difference
+    return faults, ctx.clock.cycles, ctx.mmu.checks, metrics
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(_OPS, max_size=40))
+def test_differential_tlb_on_off(ops):
+    """Random traces are observationally identical with the TLB on/off."""
+    monkeypatch = pytest.MonkeyPatch()
+    try:
+        on = _replay(ops, True, monkeypatch)
+        off = _replay(ops, False, monkeypatch)
+    finally:
+        monkeypatch.undo()
+    assert on[0] == off[0], "fault sequences diverged"
+    assert on[1] == off[1], "virtual cycles diverged"
+    assert on[2] == off[2], "mmu.checks diverged"
+    assert on[3] == off[3], "metrics snapshots diverged"
