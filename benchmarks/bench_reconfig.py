@@ -1,0 +1,113 @@
+"""Live reconfiguration: blackout window, latency, sustained migrations.
+
+Not a paper figure — the robustness experiment on top of the FlexOS
+reproduction: migrate a running redis instance between isolation
+layouts (MPK full -> EPT, and a sustained multi-hop sequence) while it
+serves real TCP requests, and record the blackout window (virtual
+cycles between QUIESCE entry and RESUME), the end-to-end migration
+latency, and reply equivalence against a never-migrated reference.
+"""
+
+from benchmarks.common import run_recorded, write_result
+from repro.obs import Tracer
+from repro.reconfig.driver import (
+    reconfig_config,
+    run_reconfig_redis,
+)
+
+N_REQUESTS = 60
+MIGRATE_AFTER = 10
+
+#: The sustained-traffic migration sequence: one hop per layout change,
+#: ending back where it started.
+SEQUENCE = (
+    ("intel-mpk", "light"),
+    ("vm-ept", "full"),
+    ("none", "full"),
+    ("intel-mpk", "full"),
+)
+
+
+def _single_migration():
+    source = reconfig_config("intel-mpk", mpk_gate="full")
+    target = reconfig_config("vm-ept")
+    tracer = Tracer()
+    run = run_reconfig_redis(source, [target], n_requests=N_REQUESTS,
+                             migrate_after=MIGRATE_AFTER, tracer=tracer)
+    reference = run_reconfig_redis(target, [], n_requests=N_REQUESTS)
+    return run, reference
+
+
+def _sustained_migrations():
+    source = reconfig_config("intel-mpk", mpk_gate="full")
+    targets = [reconfig_config(mech, mpk_gate=gate)
+               for mech, gate in SEQUENCE]
+    return run_reconfig_redis(source, targets, n_requests=N_REQUESTS,
+                              migrate_after=MIGRATE_AFTER)
+
+
+def _report_dict(report):
+    return {
+        "outcome": report.outcome,
+        "source": report.plan.source_mechanism,
+        "target": report.plan.target_mechanism,
+        "steps": report.steps_applied,
+        "blackout_cycles": report.blackout_cycles,
+        "latency_cycles": report.latency_cycles,
+        "queued_requests": report.queued_requests,
+    }
+
+
+def test_reconfig_migration(benchmark):
+    (run, reference), sustained = run_recorded(
+        benchmark, "reconfig",
+        lambda: (_single_migration(), _sustained_migrations()),
+        summarize=lambda pair: {
+            "single": {
+                "migration": _report_dict(pair[0][0].reports[0]),
+                "replies_identical":
+                    pair[0][0].replies == pair[0][1].replies,
+                "metrics": pair[0][0].tracer.metrics.snapshot(),
+            },
+            "sustained": {
+                "migrations": [_report_dict(r)
+                               for r in pair[1].reports],
+                "committed": pair[1].committed,
+            },
+        },
+        config={"requests": N_REQUESTS, "migrate_after": MIGRATE_AFTER,
+                "sequence": ["%s/%s" % hop for hop in SEQUENCE]},
+        pedantic={"rounds": 1, "iterations": 1},
+    )
+
+    single = run.reports[0]
+    assert single.committed
+    # The blackout window is finite and strictly smaller than the whole
+    # migration (PREPARE runs outside it).
+    assert 0 < single.blackout_cycles < single.latency_cycles
+    assert run.replies == reference.replies
+    assert run.instance.image.backend_name == "vm-ept"
+
+    snapshot = run.tracer.metrics.snapshot()
+    assert snapshot["histograms"]["reconfig_blackout_cycles"]["total"] == 1
+    assert snapshot["counters"]["reconfig"]["commit"] == 1
+
+    assert sustained.committed
+    assert len(sustained.reports) == len(SEQUENCE)
+    assert sustained.instance.image.backend_name == "intel-mpk"
+
+    lines = [
+        "live reconfiguration under redis traffic "
+        "(%d requests, migrate after %d)" % (N_REQUESTS, MIGRATE_AFTER),
+        "",
+        "single migration (mpk-full -> vm-ept):",
+        "  " + single.line(),
+        "  replies identical to never-migrated reference: %s"
+        % (run.replies == reference.replies),
+        "",
+        "sustained sequence (%s):" % " -> ".join(
+            "%s/%s" % hop for hop in SEQUENCE
+        ),
+    ]
+    lines += ["  " + report.line() for report in sustained.reports]
+    write_result("reconfig", "\n".join(lines))

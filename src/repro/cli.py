@@ -287,6 +287,97 @@ def cmd_faults_scorecard(args, out):
     return EXIT_FAIL if check_failed else EXIT_OK
 
 
+def cmd_reconfig_plan(args, out):
+    """Print the migration plan between two layouts (nothing applied)."""
+    from repro.core.toolchain.build import build_image as _build
+    from repro.core.vm import FlexOSInstance, Machine
+    from repro.reconfig import ReconfigurationPlan, injection_points
+    from repro.reconfig.driver import reconfig_config
+
+    source = reconfig_config(args.from_mechanism, mpk_gate=args.from_gate)
+    target = reconfig_config(args.to_mechanism, mpk_gate=args.to_gate)
+    instance = FlexOSInstance(_build(source), machine=Machine()).boot()
+    plan = ReconfigurationPlan.compute(instance, target)
+    payload = {
+        "source": plan.source_mechanism,
+        "target": plan.target_mechanism,
+        "steps": [step.line().rstrip() for step in plan.steps],
+        "counts": plan.counts(),
+        "injection_points": injection_points(plan),
+    }
+    return emit(args, out, plan.describe(), payload, label="plan")
+
+
+def cmd_reconfig_apply(args, out):
+    """Migrate a live redis instance between layouts, under traffic.
+
+    With ``--harden-after N`` the migration is driven by the
+    supervisor's HardenPolicy instead: faults are injected into the
+    isolated compartment until the policy trips and the instance climbs
+    one rung of the harden ladder.  Exit 0 when every migration
+    committed and the replies match a never-migrated reference; 1 when
+    a migration rolled back or the replies diverged.
+    """
+    from repro.reconfig import layout_fingerprint
+    from repro.reconfig.driver import (
+        reconfig_config,
+        run_harden_probes,
+        run_reconfig_redis,
+    )
+
+    if args.harden_after is not None:
+        harden = run_harden_probes(
+            mechanism=args.from_mechanism, mpk_gate=args.from_gate,
+            harden_after=args.harden_after,
+        )
+        image = harden.instance.image
+        lines = ["harden-on-fault: %d faults drawn, tripped after %s"
+                 % (harden.faults_drawn, harden.tripped_after)]
+        lines += ["  " + report.line() for report in harden.reports]
+        lines.append("final layout: %s/%s"
+                     % (image.backend_name, image.config.mpk_gate))
+        payload = {
+            "faults_drawn": harden.faults_drawn,
+            "tripped_after": harden.tripped_after,
+            "migrations": [r.line() for r in harden.reports],
+            "final_mechanism": image.backend_name,
+        }
+        emit(args, out, "\n".join(lines), payload)
+        return EXIT_OK if harden.hardened else EXIT_FAIL
+
+    source = reconfig_config(args.from_mechanism, mpk_gate=args.from_gate)
+    target = reconfig_config(args.to_mechanism, mpk_gate=args.to_gate)
+    run = run_reconfig_redis(
+        source, [target], n_requests=args.requests,
+        migrate_after=args.migrate_after, inject_at=args.inject_at,
+    )
+    reference = run_reconfig_redis(
+        target if run.committed else source, [],
+        n_requests=args.requests,
+    )
+    replies_ok = run.replies == reference.replies
+    layout_ok = (
+        layout_fingerprint(run.instance, include_regions=False)
+        == layout_fingerprint(reference.instance, include_regions=False)
+    )
+    lines = [report.line() for report in run.reports]
+    lines.append("replies: %s   layout: %s"
+                 % ("identical" if replies_ok else "DIVERGED",
+                    "verified" if layout_ok else "HYBRID"))
+    payload = {
+        "migrations": [r.line() for r in run.reports],
+        "committed": run.committed,
+        "replies_identical": replies_ok,
+        "layout_verified": layout_ok,
+        "final_mechanism": run.instance.image.backend_name,
+    }
+    emit(args, out, "\n".join(lines), payload)
+    ok = replies_ok and layout_ok and (
+        run.committed or args.inject_at is not None
+    )
+    return EXIT_OK if ok else EXIT_FAIL
+
+
 def _traced_run(args):
     """Run one functional app under a tracer; returns the FunctionalRun."""
     from repro.bench.functional import run_functional
@@ -505,6 +596,56 @@ def build_parser():
                                "contain >= 95%% of cross-compartment "
                                "faults")
     p_fscore.set_defaults(func=cmd_faults_scorecard)
+
+    p_reconfig = sub.add_parser(
+        "reconfig", help="live isolation reconfiguration "
+                         "(crash-safe layout migration)",
+    )
+    reconfig_sub = p_reconfig.add_subparsers(dest="reconfig_command",
+                                             required=True)
+
+    def add_layout_args(p):
+        p.add_argument("--from-mechanism", default="intel-mpk",
+                       choices=("none", "intel-mpk", "vm-ept"),
+                       help="source layout's mechanism")
+        p.add_argument("--from-gate", default="full",
+                       choices=("full", "light"),
+                       help="source layout's MPK gate flavour")
+        p.add_argument("--to-mechanism", default="vm-ept",
+                       choices=("none", "intel-mpk", "vm-ept"),
+                       help="target layout's mechanism")
+        p.add_argument("--to-gate", default="full",
+                       choices=("full", "light"),
+                       help="target layout's MPK gate flavour")
+
+    p_rplan = reconfig_sub.add_parser(
+        "plan", help="print the layout diff (no migration runs)",
+    )
+    add_layout_args(p_rplan)
+    add_output_options(p_rplan)
+    p_rplan.set_defaults(func=cmd_reconfig_plan)
+
+    p_rapply = reconfig_sub.add_parser(
+        "apply", help="migrate a live redis instance under traffic "
+                      "and verify layout + replies",
+    )
+    add_layout_args(p_rapply)
+    p_rapply.add_argument("--requests", type=int, default=40,
+                          help="redis requests served across the run")
+    p_rapply.add_argument("--migrate-after", type=int, default=10,
+                          help="requests served before migrating")
+    p_rapply.add_argument("--inject-at", type=int, default=None,
+                          metavar="N",
+                          help="arm a migration fault at checkpoint N; "
+                               "exit 0 then means the rollback held "
+                               "the atomicity invariant")
+    p_rapply.add_argument("--harden-after", type=int, default=None,
+                          metavar="N",
+                          help="harden-on-fault mode: escalate the "
+                               "layout after N contained faults "
+                               "instead of migrating to --to-mechanism")
+    add_output_options(p_rapply)
+    p_rapply.set_defaults(func=cmd_reconfig_apply)
 
     def add_functional_args(p):
         from repro.bench.functional import FUNCTIONAL_APPS

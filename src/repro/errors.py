@@ -282,6 +282,43 @@ class SchedulerError(ReproError):
     """The scheduler was asked to do something impossible."""
 
 
+class ReconfigError(ReproError):
+    """A live reconfiguration could not be planned.
+
+    Raised *before* any migration phase runs — an incompatible target
+    layout (different compartment names, library assignment or sharing
+    strategy) or an unsupported mechanism.  Unlike
+    :class:`MigrationFault`, this never triggers a rollback because
+    nothing was touched yet.
+    """
+
+
+class MigrationFault(ReproError):
+    """A fault fired inside a migration window.
+
+    Either injected by :meth:`repro.faults.injector.FaultInjector
+    .on_migration_point` (campaigns attacking the reconfiguration
+    itself) or raised by the engine when the QUIESCE drain times out.
+    The migration engine converts it into a rollback to the source
+    layout; it never escapes :meth:`~repro.reconfig.engine
+    .ReconfigurationEngine.migrate`.
+
+    Attributes:
+        phase: the migration checkpoint that faulted (``prepare``,
+            ``quiesce``, ``commit``, ``commit-finalize``, ``resume``).
+        step: the commit step label, when the fault hit one.
+    """
+
+    def __init__(self, phase, step=None, message=None):
+        self.phase = phase
+        self.step = step
+        super().__init__(
+            message
+            or "migration fault at %s%s"
+            % (phase, " (%s)" % step if step else "")
+        )
+
+
 class ExplorationError(ReproError):
     """The design-space explorer was misused (e.g. empty budget set).
 

@@ -180,6 +180,10 @@ class CampaignResult:
     def __init__(self, config):
         self.config = config
         self.records = []
+        #: SupervisionEvents of the run, in (compartment, timestamp)
+        #: order — a total order independent of gate interleaving, so
+        #: the rendered text is byte-identical across repeated runs.
+        self.supervision = []
 
     def add(self, record):
         self.records.append(record)
@@ -218,6 +222,9 @@ class CampaignResult:
         """Stable, byte-identical-per-config serialization."""
         lines = [self.config.describe()]
         lines += [record.line() for record in self.records]
+        if self.supervision:
+            lines.append("supervision:")
+            lines += ["  " + event.line() for event in self.supervision]
         counts = self.counters()
         lines.append(
             "totals injected=%(injected)d detected=%(detected)d "
@@ -448,6 +455,7 @@ def run_campaign(config):
                                              index)
             record.cycles = instance.clock.cycles - before
             result.add(record)
+    result.supervision = instance.supervisor.events_sorted()
     return result
 
 

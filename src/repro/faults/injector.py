@@ -26,13 +26,19 @@ Fault kinds:
 * ``net-drop`` / ``net-dup`` — lose or duplicate a frame in
   :class:`~repro.kernel.net.device.NetDevice` (executed by campaigns
   against a device pair, not at a gate crossing).
+* ``reconfig-abort`` (:data:`MIGRATION_KIND`) — raise a
+  :class:`~repro.errors.MigrationFault` at the N-th checkpoint of a live
+  reconfiguration (:meth:`FaultInjector.arm_migration`), attacking the
+  migration protocol itself.  Deliberately *not* part of
+  :data:`FAULT_KINDS`: adding a kind there would reshuffle every
+  existing seeded :class:`FaultPlan`.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.errors import ConfigError, RpcDropFault
+from repro.errors import ConfigError, MigrationFault, RpcDropFault
 from repro.obs import tracer as obs
 
 #: Every fault kind the engine knows how to inject.
@@ -61,6 +67,10 @@ GATE_KINDS = frozenset(
 
 #: Marker value stray writes plant, so leaks are observable.
 TAMPER_VALUE = "#tampered-by-fault-injector#"
+
+#: The migration-window fault kind (kept out of FAULT_KINDS; see module
+#: docstring).
+MIGRATION_KIND = "reconfig-abort"
 
 
 class FaultSpec:
@@ -177,6 +187,8 @@ class FaultInjector:
         self.injected = 0
         self._armed = None
         self._periodic = []        # [interval, spec, crossing counter]
+        self._migration = None     # [fire_at index, checkpoint counter]
+        self.migration_points = []  # (phase, step) checkpoints seen
 
     # -- scheduling -----------------------------------------------------------
     def arm(self, spec):
@@ -201,6 +213,40 @@ class FaultInjector:
                 % spec.kind
             )
         self._periodic.append([interval, spec, 0])
+
+    def arm_migration(self, fire_at):
+        """Fault the ``fire_at``-th checkpoint of the next migration.
+
+        Checkpoints are numbered across the whole protocol — prepare,
+        quiesce, one per commit step, commit-finalize, resume (see
+        :func:`repro.reconfig.engine.injection_points`) — so a seeded
+        draw over ``range(injection_points(plan))`` attacks every phase.
+        """
+        if fire_at < 0:
+            raise ConfigError("migration checkpoint index must be >= 0")
+        self._migration = [int(fire_at), 0]
+
+    def disarm_migration(self):
+        self._migration = None
+
+    def on_migration_point(self, phase, step=None):
+        """Checkpoint hook called by the reconfiguration engine."""
+        self.migration_points.append((phase, step))
+        if self._migration is None:
+            return
+        fire_at, count = self._migration
+        self._migration[1] = count + 1
+        if count != fire_at:
+            return
+        self._migration = None
+        self.injected += 1
+        self.events.append(InjectionEvent(
+            MIGRATION_KIND, None, raised="MigrationFault",
+            detail="checkpoint %d: %s%s"
+                   % (fire_at, phase, " (%s)" % step if step else ""),
+        ))
+        self._trace(MIGRATION_KIND, None, phase=phase, step=step)
+        raise MigrationFault(phase, step)
 
     @property
     def last_event(self):

@@ -22,9 +22,15 @@ Policies (one per compartment, ``propagate`` by default):
   :class:`~repro.errors.DegradedService` so the application answers with
   an app-level error (Redis ``-ERR``, Nginx 503, SQLite aborts the
   transaction) instead of dying.
+* :class:`HardenPolicy` — harden-on-fault: handle each fault with an
+  inner policy but count them, and after N contained faults queue the
+  compartment for live migration to a stricter isolation layout
+  (:mod:`repro.reconfig`).
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.errors import (
     AllocationError,
@@ -58,24 +64,35 @@ class Decision:
 
 
 class SupervisionEvent:
-    """One supervised fault, as recorded in the supervisor's log."""
+    """One supervised fault, as recorded in the supervisor's log.
+
+    Stamped with the virtual clock (``timestamp``) at decision time and
+    the backoff the decision charged (``wait_cycles``): both are
+    deterministic per (seed, config), so they are safe in stable text
+    and give the scorecard a total sort order.
+    """
 
     __slots__ = ("compartment", "compartment_name", "gate_kind",
-                 "fault_type", "action", "attempt")
+                 "fault_type", "action", "attempt", "wait_cycles",
+                 "timestamp")
 
     def __init__(self, compartment, compartment_name, gate_kind, fault_type,
-                 action, attempt):
+                 action, attempt, wait_cycles=0.0, timestamp=0.0):
         self.compartment = compartment
         self.compartment_name = compartment_name
         self.gate_kind = gate_kind
         self.fault_type = fault_type
         self.action = action
         self.attempt = attempt
+        self.wait_cycles = wait_cycles
+        self.timestamp = timestamp
 
     def line(self):
-        return "comp%d(%s) %s via %s gate -> %s (attempt %d)" % (
+        return ("comp%d(%s) %s via %s gate -> %s "
+                "(attempt %d, wait=%.0f) @%.0fcyc") % (
             self.compartment, self.compartment_name, self.fault_type,
-            self.gate_kind, self.action, self.attempt,
+            self.gate_kind, self.action, self.attempt, self.wait_cycles,
+            self.timestamp,
         )
 
     def __repr__(self):
@@ -104,25 +121,49 @@ class PropagatePolicy(Policy):
 
 
 class RetryPolicy(Policy):
-    """Bounded replay with linear backoff for transient faults.
+    """Bounded replay with backoff for transient faults.
 
     Deterministic faults (a stray access will stray again) propagate
     immediately; only :class:`~repro.errors.TransientFault` and allocator
     OOM are worth replaying.
+
+    ``backoff="linear"`` (the default) waits ``backoff_cycles * (n+1)``
+    before attempt ``n+1``.  ``backoff="exp-jitter"`` waits
+    ``backoff_cycles * 2**n`` scaled by a uniform [0.5, 1.0) factor
+    drawn from a private :class:`random.Random` seeded with ``seed`` —
+    retries de-synchronise (the thundering-herd argument) yet the whole
+    sequence replays byte-identically for a given seed.
     """
 
     name = "retry"
 
+    BACKOFFS = ("linear", "exp-jitter")
+
     def __init__(self, max_retries=3, backoff_cycles=400.0,
-                 retry_on=(TransientFault, AllocationError)):
+                 retry_on=(TransientFault, AllocationError),
+                 backoff="linear", seed=0):
+        if backoff not in self.BACKOFFS:
+            raise ConfigError(
+                "unknown backoff %r (have: %s)"
+                % (backoff, ", ".join(self.BACKOFFS))
+            )
         self.max_retries = max_retries
         self.backoff_cycles = backoff_cycles
         self.retry_on = tuple(retry_on)
+        self.backoff = backoff
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def _wait_for(self, attempt):
+        if self.backoff == "exp-jitter":
+            return (self.backoff_cycles * (2 ** attempt)
+                    * (0.5 + 0.5 * self._rng.random()))
+        return self.backoff_cycles * (attempt + 1)
 
     def decide(self, fault, attempt, supervisor, comp_index):
         if attempt < self.max_retries and isinstance(fault, self.retry_on):
             return Decision(
-                "retry", wait_cycles=self.backoff_cycles * (attempt + 1),
+                "retry", wait_cycles=self._wait_for(attempt),
                 note="retry %d/%d" % (attempt + 1, self.max_retries),
             )
         return Decision("propagate", note="retries exhausted"
@@ -164,11 +205,54 @@ class DegradePolicy(Policy):
         return Decision("degrade")
 
 
+class HardenPolicy(Policy):
+    """Escalate a compartment to a stricter layout after N faults.
+
+    Harden-on-fault: each individual fault is handled by the ``inner``
+    policy (``degrade`` by default, so the application keeps serving);
+    the policy merely *counts* contained faults per compartment — first
+    attempts only, so one fault retried three times counts once — and
+    after ``after`` of them queues the compartment on ``self.pending``
+    and fires ``on_harden``.  Someone at gate_depth 0 (the
+    reconfiguration driver, or the autotuner this feeds next) then
+    migrates the instance one rung up the harden ladder
+    (:data:`repro.reconfig.harden.HARDEN_LADDER`); the supervisor never
+    migrates mid-unwind itself, because a migration cannot run inside
+    the very gate crossing that faulted.
+    """
+
+    name = "harden"
+
+    def __init__(self, after=3, inner="degrade", on_harden=None):
+        if after < 1:
+            raise ConfigError("harden threshold must be >= 1")
+        self.after = after
+        self.inner = make_policy(inner) if isinstance(inner, str) else inner
+        self.on_harden = on_harden
+        self.fault_counts = {}       # compartment index -> faults seen
+        self.pending = []            # compartment indices due hardening
+
+    def decide(self, fault, attempt, supervisor, comp_index):
+        if attempt == 0:
+            count = self.fault_counts.get(comp_index, 0) + 1
+            self.fault_counts[comp_index] = count
+            if count == self.after:
+                self.pending.append(comp_index)
+                if self.on_harden is not None:
+                    self.on_harden(comp_index)
+        decision = self.inner.decide(fault, attempt, supervisor, comp_index)
+        if self.fault_counts.get(comp_index, 0) >= self.after:
+            decision.note = ("%s; harden pending" % decision.note
+                             if decision.note else "harden pending")
+        return decision
+
+
 _POLICY_FACTORIES = {
     "propagate": PropagatePolicy,
     "retry": RetryPolicy,
     "restart": RestartPolicy,
     "degrade": DegradePolicy,
+    "harden": HardenPolicy,
 }
 
 POLICY_NAMES = tuple(sorted(_POLICY_FACTORIES))
@@ -236,6 +320,8 @@ class Supervisor:
         self.events.append(SupervisionEvent(
             comp.index, comp.name, gate.kind, type(fault).__name__,
             decision.action, attempt,
+            wait_cycles=decision.wait_cycles,
+            timestamp=ctx.clock.cycles,
         ))
         tracer = obs.ACTIVE
         if tracer.enabled:
@@ -254,6 +340,15 @@ class Supervisor:
     # -- introspection ----------------------------------------------------------
     def events_for(self, comp_index):
         return [e for e in self.events if e.compartment == comp_index]
+
+    def events_sorted(self):
+        """Events in (compartment, timestamp, attempt) order — the total
+        order scorecard rows are rendered in, independent of the
+        interleaving the run happened to produce."""
+        return sorted(
+            self.events,
+            key=lambda e: (e.compartment, e.timestamp, e.attempt),
+        )
 
     def __repr__(self):
         return "Supervisor(%d events, policies=%s)" % (

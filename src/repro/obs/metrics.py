@@ -26,6 +26,15 @@ GATE_LATENCY_BUCKETS = (
 ALLOC_SIZE_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
                       4096.0, 16384.0, 65536.0)
 
+#: Bucket upper bounds (virtual cycles) for reconfiguration blackout
+#: windows (QUIESCE entry -> RESUME).  Spans a cheap same-mechanism gate
+#: swap (a few thousand cycles) to a full MPK->EPT migration that boots
+#: per-compartment VMs (hundreds of thousands).
+RECONFIG_BLACKOUT_BUCKETS = (
+    1_000.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+    250_000.0, 500_000.0, 1_000_000.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram with an overflow bucket.
@@ -114,6 +123,11 @@ class MetricsRegistry:
         self.explore_pruned = 0
         #: Permission-TLB events ("hit"/"miss"/"flush").
         self.tlb = {"hit": 0, "miss": 0, "flush": 0}
+        #: Live reconfiguration: action -> occurrences.
+        self.reconfig = {}
+        self.reconfig_blackout = Histogram(RECONFIG_BLACKOUT_BUCKETS)
+        #: Requests observed queued during blackout windows (summed).
+        self.reconfig_queued = 0
 
     # -- recording hooks (called by the Tracer) --------------------------------
     def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
@@ -184,6 +198,13 @@ class MetricsRegistry:
     def record_tlb(self, op):
         self.tlb[op] = self.tlb.get(op, 0) + 1
 
+    def record_reconfig(self, action):
+        self.reconfig[action] = self.reconfig.get(action, 0) + 1
+
+    def record_reconfig_blackout(self, cycles, queued):
+        self.reconfig_blackout.observe(cycles)
+        self.reconfig_queued += queued
+
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):
         return sum(self.gate_crossings.values())
@@ -198,10 +219,10 @@ class MetricsRegistry:
     def snapshot(self):
         """A JSON-serialisable snapshot of every aggregate.
 
-        The ``explore`` and ``tlb`` sections appear only when those
-        subsystems ran under this registry, so snapshots of runs that
-        never touch them (the functional perf-gate baselines predate
-        both) keep their exact shape.
+        The ``explore``, ``tlb`` and ``reconfig`` sections appear only
+        when those subsystems ran under this registry, so snapshots of
+        runs that never touch them (the functional perf-gate baselines
+        predate all three) keep their exact shape.
         """
         explore = {}
         if self.explore_waves:
@@ -214,6 +235,22 @@ class MetricsRegistry:
             }
         if any(self.tlb.values()):
             explore["tlb"] = dict(sorted(self.tlb.items()))
+        if self.reconfig or self.reconfig_blackout.total:
+            explore["reconfig"] = dict(
+                sorted(self.reconfig.items()),
+                queued_requests=self.reconfig_queued,
+            )
+        histograms = {
+            "gate_latency_cycles": {
+                "%s->%s" % pair: histogram.to_dict()
+                for pair, histogram in sorted(self.gate_latency.items())
+            },
+            "alloc_size_bytes": self.alloc_sizes.to_dict(),
+        }
+        if self.reconfig_blackout.total:
+            histograms["reconfig_blackout_cycles"] = (
+                self.reconfig_blackout.to_dict()
+            )
         return {
             "counters": {
                 "gate_crossings": {
@@ -253,13 +290,7 @@ class MetricsRegistry:
                 "fs_ops": dict(sorted(self.fs_ops.items())),
                 **explore,
             },
-            "histograms": {
-                "gate_latency_cycles": {
-                    "%s->%s" % pair: histogram.to_dict()
-                    for pair, histogram in sorted(self.gate_latency.items())
-                },
-                "alloc_size_bytes": self.alloc_sizes.to_dict(),
-            },
+            "histograms": histograms,
         }
 
     def __repr__(self):

@@ -44,6 +44,7 @@ CATEGORIES = (
     "fs",           # one VFS/ramfs operation
     "explore",      # one exploration-engine wave scheduled
     "tlb",          # one permission-TLB hit, miss, or flush
+    "reconfig",     # one live-reconfiguration phase or step
 )
 
 
@@ -128,6 +129,12 @@ class NullTracer:
         pass
 
     def tlb_op(self, op):
+        pass
+
+    def reconfig(self, action, **args):
+        pass
+
+    def reconfig_blackout(self, cycles, queued):
         pass
 
     def instant(self, name, cat, **args):
@@ -325,6 +332,23 @@ class Tracer:
         section (which appears only when the TLB actually ran).
         """
         self.metrics.record_tlb(op)
+
+    def reconfig(self, action, **args):
+        """One live-reconfiguration action (plan, phase entry, step,
+        commit, rollback, resume, harden)."""
+        self._record(TraceEvent(
+            "reconfig-%s" % action, "reconfig", self._now(), args=args,
+        ))
+        self.metrics.record_reconfig(action)
+
+    def reconfig_blackout(self, cycles, queued):
+        """The blackout window of one migration: virtual cycles between
+        QUIESCE entry and RESUME, with ``queued`` requests waiting."""
+        self._record(TraceEvent(
+            "reconfig-blackout", "reconfig", self._now(),
+            args={"cycles": cycles, "queued": queued},
+        ))
+        self.metrics.record_reconfig_blackout(cycles, queued)
 
     # -- introspection ----------------------------------------------------------
     def events_in(self, cat):

@@ -1,0 +1,60 @@
+"""Harden-on-fault: pick the next-stricter layout for an instance.
+
+The ladder orders the migratable layouts by isolation strength, using
+the paper's cost ordering in reverse: function-call gates (< MPK light
+< MPK full < EPT RPC).  :func:`harden_target` returns a new
+:class:`~repro.core.config.SafetyConfig` one rung up, preserving
+everything a live migration must preserve (compartment names, library
+assignment, sharing strategy, allocators, hardening), or ``None`` at
+the top of the ladder.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CompartmentSpec, SafetyConfig
+
+#: (mechanism, mpk_gate) rungs, weakest to strongest.
+HARDEN_LADDER = (
+    ("none", "full"),
+    ("intel-mpk", "light"),
+    ("intel-mpk", "full"),
+    ("vm-ept", "full"),
+)
+
+
+def ladder_position(mechanism, mpk_gate):
+    """Index of a layout on the ladder (-1 when off-ladder)."""
+    for i, (mech, gate) in enumerate(HARDEN_LADDER):
+        if mech == mechanism and (mech != "intel-mpk" or gate == mpk_gate):
+            return i
+    return -1
+
+
+def harden_target(config):
+    """The SafetyConfig one rung stricter than ``config``, or ``None``.
+
+    Multi-compartment configs with mechanism "none" sit on the bottom
+    rung; anything already at vm-ept (or off-ladder, e.g. cheri) has
+    nowhere stricter to go.
+    """
+    pos = ladder_position(config.mechanism, config.mpk_gate)
+    if pos < 0 or pos + 1 >= len(HARDEN_LADDER):
+        return None
+    mechanism, mpk_gate = HARDEN_LADDER[pos + 1]
+    compartments = tuple(
+        CompartmentSpec(
+            spec.name,
+            mechanism=mechanism,
+            hardening=tuple(h.value for h in spec.hardening),
+            default=spec.default,
+            allocator=spec.allocator,
+        )
+        for spec in config.compartments.values()
+    )
+    return SafetyConfig(
+        compartments,
+        dict(config.assignment),
+        sharing=config.sharing,
+        mpk_gate=mpk_gate,
+        name="%s+hardened" % (config.name or "config"),
+    )

@@ -1,0 +1,257 @@
+"""Layout diffing: the ordered steps between two safety configurations.
+
+A :class:`ReconfigurationPlan` is the *static* half of live
+reconfiguration: given a booted :class:`~repro.core.vm.FlexOSInstance`
+and a target :class:`~repro.core.config.SafetyConfig`, it computes the
+ordered list of :class:`ReconfigStep` entries — region re-keys, gate
+swaps, allocator moves — that turn the running layout into the target
+one.  Planning is pure: nothing on the instance is touched, so a plan
+can be printed (``cli reconfig plan``), costed, or thrown away without
+consequence.  The :class:`~repro.reconfig.engine.ReconfigurationEngine`
+is the dynamic half that applies a plan under the two-phase protocol.
+
+Target protection keys are pre-assigned here, deterministically, by
+replaying exactly the allocation order the MPK backend uses at boot
+(default compartment keeps key 0, the others allocate in index order,
+the shared domain allocates last).  That makes a migrated instance's
+key layout byte-identical to a freshly booted one — which is what the
+atomicity tests compare against.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SafetyConfig
+from repro.errors import ReconfigError
+from repro.hw.mpk import DEFAULT_PKEY, PkeyAllocator
+
+#: Mechanisms the migration engine knows how to re-key between.
+MIGRATABLE_MECHANISMS = ("none", "intel-mpk", "vm-ept")
+
+#: Gate kind installed per (mechanism, mpk_gate flavour).
+_GATE_KIND = {
+    ("none", "full"): "function-call",
+    ("none", "light"): "function-call",
+    ("intel-mpk", "full"): "mpk-full",
+    ("intel-mpk", "light"): "mpk-light",
+    ("vm-ept", "full"): "ept-rpc",
+    ("vm-ept", "light"): "ept-rpc",
+}
+
+STEP_KINDS = ("rekey-region", "gate-swap", "allocator-move")
+
+
+class ReconfigStep:
+    """One ordered migration step.
+
+    ``rekey-region`` carries the live :class:`~repro.hw.memory.Region`
+    and its resolved target key; ``gate-swap`` one (src, dst) edge and
+    the target gate kind; ``allocator-move`` a compartment index and the
+    target allocator kind.
+    """
+
+    __slots__ = ("kind", "target", "detail", "region", "new_pkey",
+                 "comp_index", "allocator", "edge", "gate_kind")
+
+    def __init__(self, kind, target, detail="", region=None, new_pkey=None,
+                 comp_index=None, allocator=None, edge=None, gate_kind=None):
+        if kind not in STEP_KINDS:
+            raise ReconfigError("unknown reconfiguration step kind %r" % kind)
+        self.kind = kind
+        self.target = target
+        self.detail = detail
+        self.region = region
+        self.new_pkey = new_pkey
+        self.comp_index = comp_index
+        self.allocator = allocator
+        self.edge = edge
+        self.gate_kind = gate_kind
+
+    def line(self):
+        return "%-14s %-28s %s" % (self.kind, self.target, self.detail)
+
+    def __repr__(self):
+        return "ReconfigStep(%s)" % self.line().rstrip()
+
+
+def _check_compatible(instance, target):
+    """Raise :class:`ReconfigError` unless ``target`` is migratable."""
+    source = instance.image.config
+    if not isinstance(target, SafetyConfig):
+        raise ReconfigError("migration target must be a SafetyConfig")
+    if instance.image.backend_name not in MIGRATABLE_MECHANISMS:
+        raise ReconfigError(
+            "cannot migrate away from mechanism %r"
+            % instance.image.backend_name
+        )
+    if target.mechanism not in MIGRATABLE_MECHANISMS:
+        raise ReconfigError(
+            "cannot migrate to mechanism %r (supported: %s)"
+            % (target.mechanism, ", ".join(MIGRATABLE_MECHANISMS))
+        )
+    if set(source.compartments) != set(target.compartments):
+        raise ReconfigError(
+            "migration cannot add or remove compartments: %s -> %s"
+            % (sorted(source.compartments), sorted(target.compartments))
+        )
+    if source.default_compartment.name != target.default_compartment.name:
+        raise ReconfigError(
+            "migration cannot change the default compartment (%s -> %s)"
+            % (source.default_compartment.name,
+               target.default_compartment.name)
+        )
+    if dict(source.assignment) != dict(target.assignment):
+        raise ReconfigError(
+            "migration cannot move libraries between compartments "
+            "(rebuild the image instead)"
+        )
+    if source.sharing != target.sharing:
+        raise ReconfigError(
+            "migration cannot change the sharing strategy (%s -> %s)"
+            % (source.sharing, target.sharing)
+        )
+
+
+def _assign_target_keys(image, target):
+    """Replay the MPK backend's boot-time key allocation for ``target``.
+
+    Returns ``(comp_keys, shared_pkey)`` with ``comp_keys`` mapping
+    compartment index -> key.  Pure: uses a scratch allocator.
+    """
+    pkeys = PkeyAllocator()
+    comp_keys = {}
+    for comp in image.compartments:
+        if target.compartments[comp.name].default:
+            comp_keys[comp.index] = DEFAULT_PKEY
+        else:
+            comp_keys[comp.index] = pkeys.allocate(comp.name)
+    return comp_keys, pkeys.allocate("shared")
+
+
+class ReconfigurationPlan:
+    """The ordered re-key / allocator-move / gate-swap steps of one
+    migration, plus the pre-assigned target identities the engine needs.
+    """
+
+    def __init__(self, source_mechanism, target_config, steps, comp_keys,
+                 shared_pkey, needs_spaces, gate_swap):
+        self.source_mechanism = source_mechanism
+        self.target_config = target_config
+        self.steps = list(steps)
+        #: Compartment index -> target MPK key (None outside MPK targets).
+        self.comp_keys = comp_keys
+        self.shared_pkey = shared_pkey
+        #: True when PREPARE must build fresh per-compartment VMs.
+        self.needs_spaces = needs_spaces
+        self.gate_swap = gate_swap
+
+    @property
+    def target_mechanism(self):
+        return self.target_config.mechanism
+
+    @property
+    def mechanism_change(self):
+        return self.source_mechanism != self.target_mechanism
+
+    def counts(self):
+        counts = {kind: 0 for kind in STEP_KINDS}
+        for step in self.steps:
+            counts[step.kind] += 1
+        return counts
+
+    @classmethod
+    def compute(cls, instance, target):
+        """Diff the live layout of ``instance`` against ``target``."""
+        _check_compatible(instance, target)
+        image = instance.image
+        source_mechanism = image.backend_name
+        target_mechanism = target.mechanism
+        mechanism_change = source_mechanism != target_mechanism
+
+        comp_keys, shared_pkey = None, None
+        if target_mechanism == "intel-mpk":
+            comp_keys, shared_pkey = _assign_target_keys(image, target)
+
+        steps = []
+        # 1. Region re-keys, in physical-memory order.  Same-mechanism
+        #    migrations (gate flavour / allocator changes) keep the keys.
+        if mechanism_change:
+            for region in instance.memory.regions():
+                new_pkey = cls._target_key(region, target_mechanism,
+                                           comp_keys, shared_pkey)
+                if new_pkey != region.pkey:
+                    steps.append(ReconfigStep(
+                        "rekey-region", region.name,
+                        detail="pkey %s -> %s" % (region.pkey, new_pkey),
+                        region=region, new_pkey=new_pkey,
+                    ))
+
+        # 2. Allocator moves (live allocations in the heap are dropped,
+        #    exactly like the supervisor's compartment restart).
+        default_kind = instance.memmgr.allocator_kind
+        for comp in image.compartments:
+            current = instance.memmgr._heap_kinds.get(
+                comp.index, default_kind,
+            )
+            wanted = target.compartments[comp.name].allocator or default_kind
+            if wanted != current:
+                steps.append(ReconfigStep(
+                    "allocator-move", ".heap.comp%d" % comp.index,
+                    detail="%s -> %s" % (current, wanted),
+                    comp_index=comp.index, allocator=wanted,
+                ))
+
+        # 3. Gate swaps, one per directed compartment edge.
+        source_kind = _GATE_KIND[(source_mechanism,
+                                  image.config.mpk_gate)]
+        target_kind = _GATE_KIND[(target_mechanism, target.mpk_gate)]
+        gate_swap = source_kind != target_kind
+        if gate_swap:
+            for src in image.compartments:
+                for dst in image.compartments:
+                    if src.index == dst.index:
+                        continue
+                    steps.append(ReconfigStep(
+                        "gate-swap",
+                        "comp%d->comp%d" % (src.index, dst.index),
+                        detail="%s -> %s" % (source_kind, target_kind),
+                        edge=(src.index, dst.index), gate_kind=target_kind,
+                    ))
+
+        return cls(
+            source_mechanism, target, steps, comp_keys, shared_pkey,
+            needs_spaces=(target_mechanism == "vm-ept" and mechanism_change),
+            gate_swap=gate_swap,
+        )
+
+    @staticmethod
+    def _target_key(region, target_mechanism, comp_keys, shared_pkey):
+        """The protection key ``region`` carries in the target layout."""
+        if target_mechanism != "intel-mpk":
+            # EPT isolates via address spaces, ``none`` not at all:
+            # every region returns to the default key.
+            return DEFAULT_PKEY
+        if region.compartment is not None:
+            return comp_keys[region.compartment]
+        # Shared heaps, DSS regions, old RPC windows and global sections
+        # all land in the shared communication domain, as at boot.
+        return shared_pkey
+
+    def describe(self):
+        """Stable text rendering (CLI ``reconfig plan``)."""
+        counts = self.counts()
+        header = (
+            "plan %s -> %s: %d steps "
+            "(%d rekey, %d allocator, %d gate)"
+            % (self.source_mechanism, self.target_mechanism,
+               len(self.steps), counts["rekey-region"],
+               counts["allocator-move"], counts["gate-swap"])
+        )
+        return "\n".join(
+            [header] + ["%03d %s" % (i, step.line().rstrip())
+                        for i, step in enumerate(self.steps)]
+        )
+
+    def __repr__(self):
+        return "ReconfigurationPlan(%s -> %s, %d steps)" % (
+            self.source_mechanism, self.target_mechanism, len(self.steps),
+        )

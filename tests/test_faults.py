@@ -209,8 +209,8 @@ class TestSupervisionPolicies:
         assert exc.value.context.library == "lwip"
 
     def test_policy_registry(self):
-        assert POLICY_NAMES == ("degrade", "propagate", "restart",
-                                "retry")
+        assert POLICY_NAMES == ("degrade", "harden", "propagate",
+                                "restart", "retry")
         with pytest.raises(ConfigError):
             make_policy("reboot-the-universe")
 
@@ -392,3 +392,118 @@ class TestCrashReports:
 def test_fault_kind_taxonomy():
     assert CROSS_COMPARTMENT_KINDS < set(FAULT_KINDS)
     assert "alloc-oom" not in CROSS_COMPARTMENT_KINDS
+
+
+class TestRetryBackoff:
+    def test_linear_is_the_default(self):
+        policy = make_policy("retry", backoff_cycles=100.0)
+        assert policy.backoff == "linear"
+        assert [policy._wait_for(i) for i in range(3)] == \
+            [100.0, 200.0, 300.0]
+
+    def test_exp_jitter_seeded_and_bounded(self):
+        draws = [
+            [make_policy("retry", backoff="exp-jitter", seed=7,
+                         backoff_cycles=100.0)._wait_for(i)
+             for i in range(4)]
+            for _ in range(2)
+        ]
+        # Same seed -> the exact same wait sequence.
+        assert draws[0] == draws[1]
+        # Each wait is 2^n * backoff scaled into [0.5, 1.0).
+        for i, wait in enumerate(draws[0]):
+            assert 50.0 * 2 ** i <= wait < 100.0 * 2 ** i
+        other = [make_policy("retry", backoff="exp-jitter", seed=8,
+                             backoff_cycles=100.0)._wait_for(i)
+                 for i in range(4)]
+        assert other != draws[0]
+
+    def test_exp_jitter_recorded_in_events(self):
+        instance, injector, _ = armed_instance()
+        instance.set_fault_policy("lwip", "retry", backoff="exp-jitter",
+                                  seed=3)
+        lwip = instance.image.compartment_of("lwip").index
+        injector.arm(FaultSpec("rpc-drop", dst=lwip))
+        with instance.run():
+            assert lwip_probe(token=3) == 7
+        event = instance.supervisor.events_for(lwip)[0]
+        assert 200.0 <= event.wait_cycles < 400.0   # 400 * [0.5, 1.0)
+        assert event.timestamp > 0
+        assert "wait=%.0f" % event.wait_cycles in event.line()
+
+    def test_unknown_backoff_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("retry", backoff="fibonacci")
+
+
+class TestRestartHandlerOrdering:
+    def test_handlers_run_in_registration_order(self):
+        instance, injector, _ = armed_instance()
+        lwip = instance.image.compartment_of("lwip").index
+        order = []
+        # boot() already registered the heap reset; ours run after it,
+        # in the order they were added.
+        instance.supervisor.add_restart_handler(
+            lwip, lambda: order.append(("first",
+                                        instance.memmgr.heap_resets)),
+        )
+        instance.supervisor.add_restart_handler(
+            lwip, lambda: order.append(("second",
+                                        instance.memmgr.heap_resets)),
+        )
+        instance.supervisor.restart_compartment(lwip)
+        assert order == [("first", 1), ("second", 1)]
+        assert instance.supervisor.restarts == {lwip: 1}
+
+    def test_restart_policy_runs_added_handlers(self):
+        instance, injector, _ = armed_instance()
+        instance.set_fault_policy("lwip", "restart")
+        lwip = instance.image.compartment_of("lwip").index
+        resets_seen = []
+        instance.supervisor.add_restart_handler(
+            lwip, lambda: resets_seen.append(instance.memmgr.heap_resets),
+        )
+        instance.memmgr.heap_of(lwip).fail_next(1)
+        with instance.run():
+            from repro.faults.campaign import lwip_alloc_probe
+
+            assert lwip_alloc_probe(instance.memmgr.heap_of(lwip)) == 64
+        # Ran exactly once, after the heap was already reset.
+        assert resets_seen == [1]
+
+
+class TestHardenPolicyCounting:
+    def test_counts_distinct_faults_not_retries(self):
+        from repro.faults.supervisor import Supervisor
+
+        policy = make_policy("harden", after=2)
+        supervisor = Supervisor()
+        fault = AllocationError("oom")
+        policy.decide(fault, 0, supervisor, 1)
+        policy.decide(fault, 1, supervisor, 1)   # same call retried
+        policy.decide(fault, 2, supervisor, 1)
+        assert policy.pending == []
+        policy.decide(fault, 0, supervisor, 1)   # second distinct fault
+        assert policy.pending == [1]
+
+    def test_on_harden_callback_fires_once_per_trip(self):
+        tripped = []
+        policy = make_policy("harden", after=1,
+                             on_harden=tripped.append)
+        from repro.faults.supervisor import Supervisor
+
+        policy.decide(AllocationError("oom"), 0, Supervisor(), 4)
+        assert tripped == [4]
+
+
+class TestScorecardDeterminism:
+    def test_supervision_rows_sorted_and_stable(self):
+        config = CampaignConfig(seed=5, n_faults=12, policy="retry")
+        result = run_campaign(config)
+        assert result.supervision
+        keys = [(e.compartment, e.timestamp, e.attempt)
+                for e in result.supervision]
+        assert keys == sorted(keys)
+        text = result.to_text()
+        assert "supervision:" in text
+        assert run_campaign(config).to_text() == text

@@ -201,3 +201,109 @@ class TestEnterFaultUnwind:
         assert fault_ctx.library == "lwip"
         assert fault_ctx.pkru_keys == (1, 15)     # callee's keys only
         assert "gate depth:    1" in fault_ctx.describe()
+
+
+# -- nested crossings ---------------------------------------------------------
+
+def nested_comps():
+    """Three compartments for an app -> lwip -> libsodium call chain."""
+    a = Compartment(0, CompartmentSpec("comp1", default=True), ["app"])
+    b = Compartment(1, CompartmentSpec("comp2"), ["lwip"])
+    c = Compartment(2, CompartmentSpec("comp3"), ["libsodium"])
+    a.pkey, b.pkey, c.pkey = 0, 1, 2
+    a.shared_pkeys = b.shared_pkeys = c.shared_pkeys = (15,)
+    return a, b, c
+
+
+NESTED_CASES = [
+    ("function-call", FunctionCallGate, "flat"),
+    ("mpk-light", MpkLightGate, "pkru"),
+    ("mpk-full", MpkFullGate, "pkru"),
+    ("ept-rpc", EptRpcGate, "space"),
+    ("cheri", CheriGate, "flat"),
+]
+
+
+@pytest.mark.parametrize(
+    "label,gate_cls,mode", NESTED_CASES, ids=[c[0] for c in NESTED_CASES],
+)
+class TestNestedCrossingUnwind:
+    """A fault two gates deep must unwind BOTH levels correctly."""
+
+    def _chain(self, gate_cls, mode):
+        a, b, c = nested_comps()
+        if mode == "pkru":
+            ctx = make_ctx(pkru=PKRU(allowed=(0, 15)))
+        elif mode == "space":
+            a.address_space = AddressSpace("comp1")
+            b.address_space = AddressSpace("comp2")
+            c.address_space = AddressSpace("comp3")
+            ctx = make_ctx(address_space=a.address_space)
+        else:
+            ctx = make_ctx()
+        return ctx, gate_cls(a, b, COSTS), gate_cls(b, c, COSTS)
+
+    def test_fault_unwinds_both_levels(self, label, gate_cls, mode):
+        ctx, outer, inner = self._chain(gate_cls, mode)
+        boom.__flexos_entry__ = True
+
+        def middle():
+            return inner.call(ctx, "libsodium", boom, (), {})
+
+        middle.__flexos_entry__ = True
+        pkru_before = ctx.pkru.snapshot() if ctx.pkru is not None else None
+        space_before = ctx.address_space
+        try:
+            with pytest.raises(CalleeError):
+                outer.call(ctx, "lwip", middle, (), {})
+        finally:
+            del boom.__flexos_entry__
+        assert ctx.gate_depth == 0
+        assert ctx.compartment == 0
+        assert ctx.current_library is None
+        assert ctx.address_space is space_before
+        if ctx.pkru is not None:
+            assert ctx.pkru.snapshot() == pkru_before
+
+    def test_inner_fault_leaves_midlevel_intact(self, label, gate_cls,
+                                                mode):
+        """The outer callee catches the inner fault: it must find
+        itself exactly where it was before the inner call."""
+        ctx, outer, inner = self._chain(gate_cls, mode)
+        boom.__flexos_entry__ = True
+        observed = []
+
+        def middle():
+            with pytest.raises(CalleeError):
+                inner.call(ctx, "libsodium", boom, (), {})
+            observed.append(
+                (ctx.compartment, ctx.gate_depth, ctx.current_library),
+            )
+            return "survived"
+
+        middle.__flexos_entry__ = True
+        try:
+            assert outer.call(ctx, "lwip", middle, (), {}) == "survived"
+        finally:
+            del boom.__flexos_entry__
+        assert observed == [(1, 1, "lwip")]
+        assert ctx.gate_depth == 0
+
+    def test_all_four_crossings_charged(self, label, gate_cls, mode):
+        ctx, outer, inner = self._chain(gate_cls, mode)
+        boom.__flexos_entry__ = True
+
+        def middle():
+            return inner.call(ctx, "libsodium", boom, (), {})
+
+        middle.__flexos_entry__ = True
+        before = ctx.clock.cycles
+        try:
+            with pytest.raises(CalleeError):
+                outer.call(ctx, "lwip", middle, (), {})
+        finally:
+            del boom.__flexos_entry__
+        # Entry AND exit are paid at both nesting levels.
+        assert ctx.clock.cycles - before >= (
+            2 * outer.one_way_cost() + 2 * inner.one_way_cost()
+        )
