@@ -439,6 +439,40 @@ def cmd_metrics(args, out):
     return EXIT_OK
 
 
+def cmd_load(args, out):
+    """Drive an app with open-loop (or saturation) load on the SMP
+    scheduler and report the latency distribution."""
+    from repro.bench.load import run_load
+
+    result = run_load(
+        args.app, args.mechanism, rate_rps=args.rate,
+        n_requests=args.requests, seed=args.seed,
+        cores=None if args.cores == 0 else args.cores,
+        connections=args.connections, mpk_gate=args.mpk_gate,
+    )
+    summary = result.summary()
+    rows = [
+        ("mode", summary["mode"]),
+        ("offered rps", "%.0f" % summary["offered_rps"]
+         if summary["offered_rps"] else "saturation probe"),
+        ("achieved rps", "%.0f" % summary["achieved_rps"]),
+        ("completed", "%d/%d" % (summary["completed"],
+                                 summary["requests"])),
+        ("p50 latency", "%.2f us" % summary["p50_us"]),
+        ("p99 latency", "%.2f us" % summary["p99_us"]),
+        ("p999 latency", "%.2f us" % summary["p999_us"]),
+        ("mean latency", "%.2f us" % summary["mean_us"]),
+        ("cores", "serial reference" if summary["cores"] is None
+         else str(summary["cores"])),
+        ("switches", str(summary["switches"])),
+    ]
+    text = format_table(
+        rows, headers=("metric", "value"),
+        title="%s/%s under load" % (args.app, args.mechanism),
+    )
+    return emit(args, out, text, payload=summary, label="load report")
+
+
 def cmd_obs_report(args, out):
     """Traced functional run -> critical path + crossing matrix report."""
     from repro.obs import analyze
@@ -677,6 +711,30 @@ def build_parser():
                            help="write metrics-<app>.json and "
                                 "trace-<app>.json here instead of stdout")
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_load = sub.add_parser(
+        "load", help="open-loop arrival-rate load on the SMP scheduler",
+    )
+    p_load.add_argument("app", choices=("redis", "nginx", "sqlite"))
+    p_load.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="offered arrival rate in requests per virtual "
+                             "second (default: closed-loop saturation "
+                             "probe)")
+    p_load.add_argument("--requests", type=int, default=96,
+                        help="total requests across all connections")
+    p_load.add_argument("--mechanism", default="intel-mpk",
+                        choices=("none", "intel-mpk", "vm-ept"))
+    p_load.add_argument("--mpk-gate", default="full",
+                        choices=("full", "light"))
+    p_load.add_argument("--cores", type=int, default=2,
+                        help="virtual cores (0 = serial reference "
+                             "scheduler)")
+    p_load.add_argument("--connections", type=int, default=4,
+                        help="client connections (worker-pool width for "
+                             "sqlite)")
+    add_seed_option(p_load)
+    add_output_options(p_load)
+    p_load.set_defaults(func=cmd_load)
 
     p_obs = sub.add_parser(
         "obs", help="trace analytics and the perf-regression gate",

@@ -31,6 +31,7 @@ from repro.kernel.libc import Libc
 from repro.kernel.memmgr import MemoryManager
 from repro.kernel.net import NetworkStack
 from repro.kernel.sched import Scheduler
+from repro.kernel.smp import SmpScheduler
 from repro.kernel.uktime import TimeSubsystem
 
 
@@ -48,12 +49,16 @@ class FlexOSInstance:
     """One booted FlexOS image."""
 
     def __init__(self, image, machine=None, allocator="tlsf",
-                 net_device=None, ip="10.0.0.2"):
+                 net_device=None, ip="10.0.0.2", cores=None):
         self.image = image
         self.machine = machine or Machine()
         self.allocator_kind = allocator
         self.net_device = net_device
         self.ip = ip
+        #: ``None`` boots the serial reference scheduler; an integer N
+        #: boots the run-to-yield SMP scheduler on N virtual cores
+        #: (:mod:`repro.kernel.smp`; N=1 is trace-identical to serial).
+        self.cores = cores
 
         self.costs = self.machine.costs
         self.clock = self.machine.clock
@@ -163,7 +168,11 @@ class FlexOSInstance:
         self.backend.on_heap_created(self, None, shared.region)
 
     def _init_sched(self):
-        self.sched = Scheduler(self.clock, self.costs)
+        if self.cores is None:
+            self.sched = Scheduler(self.clock, self.costs)
+        else:
+            self.sched = SmpScheduler(self.clock, self.costs,
+                                      n_cores=self.cores)
         # Every thread gets its home-compartment stack (doubled with a
         # DSS when the sharing strategy asks for one); the backend's
         # thread-create hook then applies mechanism-specific setup.

@@ -47,6 +47,20 @@ class Clock:
             raise ValueError("cannot charge negative cycles: %r" % cycles)
         self._cycles += cycles
 
+    def warp_to(self, cycles):
+        """Set the counter to an absolute cycle value.
+
+        This is the SMP scheduler's core-switch primitive and the one
+        deliberate exception to monotonicity: each virtual core keeps its
+        own position on the timeline, and switching the (single, shared)
+        clock from one core to another may move it backwards to where
+        that core last stopped.  Within a scheduling slice the clock only
+        ever advances through :meth:`charge`; nothing else may call this.
+        """
+        if cycles < 0:
+            raise ValueError("cannot warp to negative cycles: %r" % cycles)
+        self._cycles = float(cycles)
+
     def cycles_to_ns(self, cycles):
         """Convert a cycle count to nanoseconds at this clock's frequency."""
         return cycles * 1e9 / self.freq_hz

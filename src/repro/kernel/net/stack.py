@@ -7,6 +7,8 @@ pump into a gated cross-call.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import NetworkError
 from repro.kernel.lib import entrypoint, work
 from repro.kernel.net.headers import (
@@ -40,7 +42,7 @@ class NetworkStack:
         self.clock = clock
         self._conns = {}       # 4-tuple -> TcpConnection
         self._listeners = {}   # port -> TcpConnection in LISTEN
-        self._udp_queues = {}  # port -> list of (src_ip, src_port, payload)
+        self._udp_queues = {}  # port -> deque of (src_ip, src_port, payload)
         self._next_ident = 1
         self._next_port = 49152
         #: src IP of the frame currently being demuxed (handshake helper).
@@ -185,7 +187,7 @@ class NetworkStack:
     def _udp_input(self, ip_header, body):
         work(self.costs.tcp_segment / 2.0)
         header, payload = UdpHeader.unpack(body)
-        queue = self._udp_queues.setdefault(header.dst_port, [])
+        queue = self._udp_queues.setdefault(header.dst_port, deque())
         queue.append((ip_header.src, header.src_port, payload))
 
     # -- TCP control entry points ----------------------------------------------
@@ -215,7 +217,7 @@ class NetworkStack:
         while listener.accept_backlog:
             conn = listener.accept_backlog[0]
             if conn.state is TcpState.ESTABLISHED:
-                listener.accept_backlog.pop(0)
+                listener.accept_backlog.popleft()
                 return conn
             break
         return None
@@ -243,4 +245,4 @@ class NetworkStack:
         queue = self._udp_queues.get(port)
         if not queue:
             return None
-        return queue.pop(0)
+        return queue.popleft()

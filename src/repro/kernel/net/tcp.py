@@ -16,6 +16,7 @@ the figures are gate-latency bound), which is documented in DESIGN.md.
 from __future__ import annotations
 
 import enum
+from collections import deque
 
 from repro.errors import NetworkError
 from repro.kernel.net.headers import ACK, FIN, PSH, SYN, TcpHeader
@@ -63,7 +64,7 @@ class TcpConnection:
         self.recv_buffer = bytearray()
         self._reorder = {}          # seq -> payload, out-of-order stash
         self._inflight = []         # [(seq, payload, sent_at_ns)]
-        self.accept_backlog = []    # completed embryonic connections
+        self.accept_backlog = deque()  # completed embryonic connections
         self.segments_in = 0
         self.segments_out = 0
         self.retransmits = 0
@@ -71,7 +72,7 @@ class TcpConnection:
         #: Peer's advertised receive window (flow control).
         self.snd_wnd = RECV_WINDOW_MAX
         #: Bytes waiting because the peer's window was full.
-        self._send_backlog = []
+        self._send_backlog = deque()
         self._advertised_zero = False
 
     # -- sending ------------------------------------------------------------------
@@ -136,7 +137,7 @@ class TcpConnection:
             chunk = self._send_backlog[0]
             if self._bytes_in_flight() + len(chunk) > self.snd_wnd:
                 break
-            self._send_backlog.pop(0)
+            self._send_backlog.popleft()
             self._inflight.append((self.snd_nxt, chunk, now))
             self._emit(PSH | ACK, chunk)
             self.snd_nxt += len(chunk)

@@ -23,6 +23,8 @@ thread, wake-ups never lost).
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import SchedulerError
 from repro.hw.cpu import maybe_current_context
 from repro.kernel.lib import entrypoint, work
@@ -77,7 +79,7 @@ class WaitQueue:
 
     def __init__(self, name="waitq"):
         self.name = name
-        self._waiters = []
+        self._waiters = deque()
 
     def add(self, thread):
         self._waiters.append(thread)
@@ -86,7 +88,7 @@ class WaitQueue:
         """Make the oldest waiter runnable; returns it or None."""
         if not self._waiters:
             return None
-        thread = self._waiters.pop(0)
+        thread = self._waiters.popleft()
         thread.state = ThreadState.READY
         return thread
 
@@ -107,9 +109,13 @@ class Scheduler:
         self.clock = clock
         self.costs = costs
         self.threads = []
-        self._run_queue = []
+        self._run_queue = deque()
         self._sleepers = []
         self.current = None
+        #: The thread most recently dispatched.  Unlike ``current`` (which
+        #: is None whenever no thread is actually on the CPU), this survives
+        #: descheduling so traces can name the "from" side of a switch.
+        self.last_dispatched = None
         self.switches = 0
         self._hooks = {event: [] for event in HOOK_EVENTS}
 
@@ -131,6 +137,7 @@ class Scheduler:
         work(self.costs.context_switch / 2.0)
         thread = Thread(name, body, compartment=compartment)
         thread.start()
+        thread.ready_at_cycles = self.clock.cycles
         self.threads.append(thread)
         self._run_queue.append(thread)
         self._fire("thread_create", thread)
@@ -142,6 +149,7 @@ class Scheduler:
         work(self.costs.sched_yield)
         thread = queue.wake_one()
         if thread is not None:
+            thread.ready_at_cycles = self.clock.cycles
             self._run_queue.append(thread)
         return thread
 
@@ -149,6 +157,8 @@ class Scheduler:
     def wake_all(self, queue):
         work(self.costs.sched_yield)
         woken = queue.wake_all()
+        for thread in woken:
+            thread.ready_at_cycles = self.clock.cycles
         self._run_queue.extend(woken)
         return woken
 
@@ -166,6 +176,7 @@ class Scheduler:
         for thread in self._sleepers:
             if thread.wake_at_cycles <= self.clock.cycles:
                 thread.state = ThreadState.READY
+                thread.ready_at_cycles = thread.wake_at_cycles
                 self._run_queue.append(thread)
             else:
                 still_sleeping.append(thread)
@@ -182,8 +193,10 @@ class Scheduler:
         """
         work(self.costs.context_switch)
         self.switches += 1
-        previous = self.current
+        previous = self.current if self.current is not None \
+            else self.last_dispatched
         self.current = thread
+        self.last_dispatched = thread
         thread.state = ThreadState.RUNNING
         tracer = obs.ACTIVE
         if tracer.enabled:
@@ -222,14 +235,14 @@ class Scheduler:
                         % ", ".join(t.name for t in blocked)
                     )
                 return
-            thread = self._run_queue.pop(0)
+            thread = self._run_queue.popleft()
             if not thread.alive:
                 continue
             op = self._dispatch(thread, None)
-            budget -= 1
-            if budget <= 0:
-                raise SchedulerError("scheduler switch budget exhausted")
             self._apply(thread, op)
+            budget -= 1
+            if budget <= 0 and any(t.alive for t in self.threads):
+                raise SchedulerError("scheduler switch budget exhausted")
 
     @entrypoint("uksched")
     def _account_yield(self):
@@ -239,11 +252,11 @@ class Scheduler:
     def _apply(self, thread, op):
         if isinstance(op, Exit):
             thread.state = ThreadState.EXITED
-            self.current = None
             self._fire("thread_exit", thread)
         elif isinstance(op, Yield):
             self._account_yield()
             thread.state = ThreadState.READY
+            thread.ready_at_cycles = self.clock.cycles
             self._run_queue.append(thread)
         elif isinstance(op, Sleep):
             self._account_yield()
@@ -260,6 +273,11 @@ class Scheduler:
             raise SchedulerError(
                 "thread %s yielded a non-operation: %r" % (thread.name, op)
             )
+        # The thread is off the CPU whichever way it descheduled; leaving
+        # ``current`` pointing at a READY/SLEEPING/BLOCKED thread between
+        # dispatches violated the RUNNING-or-None invariant.
+        if self.current is thread:
+            self.current = None
 
     # -- verified invariants (Dafny model, Section 3.3) --------------------------
     def check_invariants(self):
@@ -267,6 +285,12 @@ class Scheduler:
         running = [t for t in self.threads if t.state is ThreadState.RUNNING]
         if len(running) > 1:
             raise SchedulerError("more than one RUNNING thread")
+        if self.current is not None \
+                and self.current.state is not ThreadState.RUNNING:
+            raise SchedulerError(
+                "current thread %s is %s, not RUNNING"
+                % (self.current.name, self.current.state.value)
+            )
         queued = set(id(t) for t in self._run_queue)
         for thread in self._sleepers:
             if id(thread) in queued:

@@ -39,6 +39,10 @@ class Thread:
         self.home_compartment = compartment
         self.state = ThreadState.READY
         self.wake_at_cycles = 0.0
+        #: Virtual cycle at which the thread last became runnable; the
+        #: SMP scheduler will not start a slice before this point even on
+        #: a core whose local clock is still behind it.
+        self.ready_at_cycles = 0.0
         self.result = None
         #: compartment id -> stack Region (the stack registry entry).
         self.stacks = {}

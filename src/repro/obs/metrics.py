@@ -35,6 +35,14 @@ RECONFIG_BLACKOUT_BUCKETS = (
     250_000.0, 500_000.0, 1_000_000.0,
 )
 
+#: Bucket upper bounds (threads) for the run-queue depth observed at
+#: each SMP dispatch.  Depth 0 means the dispatched thread was the only
+#: runnable one; deep queues are the queueing-delay signal the open-loop
+#: load harness is after.
+RUNQUEUE_DEPTH_BUCKETS = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram with an overflow bucket.
@@ -128,6 +136,9 @@ class MetricsRegistry:
         self.reconfig_blackout = Histogram(RECONFIG_BLACKOUT_BUCKETS)
         #: Requests observed queued during blackout windows (summed).
         self.reconfig_queued = 0
+        #: SMP scheduler: core index -> dispatches on that core.
+        self.core_dispatches = {}
+        self.runqueue_depth = Histogram(RUNQUEUE_DEPTH_BUCKETS)
 
     # -- recording hooks (called by the Tracer) --------------------------------
     def record_gate(self, src, dst, src_comp, dst_comp, kind, library,
@@ -205,6 +216,10 @@ class MetricsRegistry:
         self.reconfig_blackout.observe(cycles)
         self.reconfig_queued += queued
 
+    def record_core_dispatch(self, core, depth):
+        self.core_dispatches[core] = self.core_dispatches.get(core, 0) + 1
+        self.runqueue_depth.observe(depth)
+
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):
         return sum(self.gate_crossings.values())
@@ -219,10 +234,13 @@ class MetricsRegistry:
     def snapshot(self):
         """A JSON-serialisable snapshot of every aggregate.
 
-        The ``explore``, ``tlb`` and ``reconfig`` sections appear only
-        when those subsystems ran under this registry, so snapshots of
-        runs that never touch them (the functional perf-gate baselines
-        predate all three) keep their exact shape.
+        The ``explore``, ``tlb``, ``reconfig`` and ``sched`` sections
+        appear only when those subsystems ran under this registry, so
+        snapshots of runs that never touch them (the functional
+        perf-gate baselines predate all four) keep their exact shape.
+        The ``sched`` section and the ``runqueue_depth`` histogram are
+        emitted only by the SMP scheduler; serial runs never record a
+        core dispatch.
         """
         explore = {}
         if self.explore_waves:
@@ -240,6 +258,11 @@ class MetricsRegistry:
                 sorted(self.reconfig.items()),
                 queued_requests=self.reconfig_queued,
             )
+        if self.core_dispatches:
+            explore["sched"] = {
+                "core-%d" % core: {"dispatches": count}
+                for core, count in sorted(self.core_dispatches.items())
+            }
         histograms = {
             "gate_latency_cycles": {
                 "%s->%s" % pair: histogram.to_dict()
@@ -251,6 +274,8 @@ class MetricsRegistry:
             histograms["reconfig_blackout_cycles"] = (
                 self.reconfig_blackout.to_dict()
             )
+        if self.runqueue_depth.total:
+            histograms["runqueue_depth"] = self.runqueue_depth.to_dict()
         return {
             "counters": {
                 "gate_crossings": {

@@ -131,6 +131,9 @@ class NullTracer:
     def tlb_op(self, op):
         pass
 
+    def core_dispatch(self, core, depth):
+        pass
+
     def reconfig(self, action, **args):
         pass
 
@@ -332,6 +335,17 @@ class Tracer:
         section (which appears only when the TLB actually ran).
         """
         self.metrics.record_tlb(op)
+
+    def core_dispatch(self, core, depth):
+        """One SMP dispatch on ``core`` with ``depth`` threads left queued.
+
+        Counter-only, like :meth:`tlb_op`: the SMP scheduler fires this
+        on every slice, so recording an event object each time would
+        swamp the stream under load.  The aggregate lands in the metrics
+        snapshot's ``sched`` section and ``runqueue_depth`` histogram
+        (which appear only when the SMP scheduler actually ran).
+        """
+        self.metrics.record_core_dispatch(core, depth)
 
     def reconfig(self, action, **args):
         """One live-reconfiguration action (plan, phase entry, step,

@@ -67,6 +67,66 @@ class TestBasicDispatch:
         with pytest.raises(SchedulerError):
             sched.run(max_switches=100)
 
+    def test_budget_covers_exact_completion(self, sched):
+        """A workload finishing in exactly ``max_switches`` dispatches
+        must not raise: the final dispatch is a clean Exit, not an
+        exhausted budget (regression for the off-by-one where the check
+        fired before the op was applied)."""
+        def body():
+            return 7
+            yield  # pragma: no cover - marks this as a generator
+
+        thread = sched.create_thread("one-shot", body)
+        sched.run(max_switches=1)
+        assert thread.state is ThreadState.EXITED
+        assert thread.result == 7
+
+    def test_budget_exhausts_with_work_remaining(self, sched):
+        def once():
+            yield yield_()
+
+        sched.create_thread("a", once)
+        sched.create_thread("b", once)
+        with pytest.raises(SchedulerError, match="budget"):
+            sched.run(max_switches=1)
+
+    def test_current_cleared_after_descheduling(self, sched):
+        """``current`` must be RUNNING-or-None: after Yield/Sleep/Block
+        it may not keep naming the descheduled thread (regression — only
+        Exit used to clear it)."""
+        queue = WaitQueue()
+
+        def body():
+            yield yield_()
+            yield sleep(10)
+            yield block(queue)
+
+        thread = sched.create_thread("t", body)
+        sched._run_queue.remove(thread)
+        for expected_state in (ThreadState.READY, ThreadState.SLEEPING,
+                               ThreadState.BLOCKED):
+            op = sched._dispatch(thread, None)
+            assert sched.current is thread
+            sched._apply(thread, op)
+            assert sched.current is None
+            assert thread.state is expected_state
+            sched.check_invariants()
+            # Undo the deschedule bookkeeping so the next manual
+            # dispatch starts from a clean slate.
+            if thread in sched._run_queue:
+                sched._run_queue.remove(thread)
+            if thread in sched._sleepers:
+                sched._sleepers.remove(thread)
+
+    def test_invariants_reject_stale_current(self, sched):
+        def body():
+            yield yield_()
+
+        thread = sched.create_thread("t", body)
+        sched.current = thread  # READY, not RUNNING: stale by definition
+        with pytest.raises(SchedulerError, match="not RUNNING"):
+            sched.check_invariants()
+
     def test_context_switch_charges_cycles(self, sched):
         """Dispatch work is charged when running under a context (work()
         is a no-op outside any simulation, by design)."""

@@ -1,0 +1,313 @@
+"""SMP scheduler tests: N=1 differential identity, multi-core overlap,
+per-core accounting, and the random-program invariant property shared
+with the serial reference scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerError
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel
+from repro.kernel.sched import (
+    Scheduler,
+    WaitQueue,
+    block,
+    sleep,
+    yield_,
+)
+from repro.kernel.smp import SmpScheduler
+from repro.kernel.thread import ThreadState
+
+
+def make_serial():
+    return Scheduler(Clock(), CostModel.xeon_4114())
+
+
+def make_smp(n_cores):
+    return SmpScheduler(Clock(), CostModel.xeon_4114(), n_cores=n_cores)
+
+
+class TestClockWarp:
+    def test_warp_moves_both_directions(self):
+        clock = Clock()
+        clock.charge(500)
+        clock.warp_to(200)
+        assert clock.cycles == 200
+        clock.warp_to(900)
+        assert clock.cycles == 900
+
+    def test_warp_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Clock().warp_to(-1)
+
+
+class TestSingleCoreIdentity:
+    """At N=1 the SMP scheduler IS the serial scheduler, observably."""
+
+    @staticmethod
+    def run_program(sched):
+        """A mixed yield/sleep/block/wake workload; returns the log."""
+        log = []
+        queue = WaitQueue()
+        clock = sched.clock
+
+        def worker(name, charge):
+            def body():
+                for i in range(3):
+                    clock.charge(charge)
+                    log.append((name, i, clock.cycles))
+                    yield yield_()
+                yield sleep(100)
+                log.append((name, "woke", clock.cycles))
+                return name
+            return body
+
+        def waiter():
+            yield block(queue)
+            log.append(("waiter", "woken", clock.cycles))
+
+        def waker():
+            yield yield_()
+            sched.wake(queue)
+            yield sleep(50)
+
+        sched.create_thread("a", worker("a", 120))
+        sched.create_thread("b", worker("b", 80))
+        sched.create_thread("waiter", waiter)
+        sched.create_thread("waker", waker)
+        sched.run()
+        return log
+
+    def test_trace_identical_to_serial(self):
+        serial = make_serial()
+        smp = make_smp(1)
+        serial_log = self.run_program(serial)
+        smp_log = self.run_program(smp)
+        assert serial_log == smp_log
+        assert serial.clock.cycles == smp.clock.cycles
+        assert serial.switches == smp.switches
+
+    def test_makespan_equals_serial_finish(self):
+        serial = make_serial()
+        smp = make_smp(1)
+        self.run_program(serial)
+        self.run_program(smp)
+        assert smp.makespan_cycles() == serial.clock.cycles
+
+
+class TestMultiCore:
+    def test_two_cores_halve_cpu_bound_makespan(self):
+        """Two independent CPU-bound threads overlap perfectly on two
+        cores: the makespan is half the serial total."""
+        def run(sched):
+            clock = sched.clock
+
+            def body():
+                for _ in range(3):
+                    clock.charge(100)
+                    yield yield_()
+
+            sched.create_thread("a", body)
+            sched.create_thread("b", body)
+            sched.run()
+            return clock.cycles
+
+        assert run(make_serial()) == 600.0
+        assert run(make_smp(2)) == 300.0
+
+    def test_all_cores_dispatch(self):
+        smp = make_smp(3)
+        clock = smp.clock
+
+        def body():
+            for _ in range(4):
+                clock.charge(50)
+                yield yield_()
+
+        for i in range(3):
+            smp.create_thread("t%d" % i, body)
+        smp.run()
+        assert all(core.dispatches > 0 for core in smp.cores)
+        assert clock.cycles == smp.makespan_cycles()
+
+    def test_core_accounting_balances(self):
+        smp = make_smp(2)
+        clock = smp.clock
+
+        def body():
+            clock.charge(200)
+            yield sleep(1000)
+            clock.charge(100)
+
+        smp.create_thread("a", body)
+        smp.create_thread("b", body)
+        smp.run()
+        for stats in smp.core_stats():
+            assert stats["busy_cycles"] + stats["idle_cycles"] \
+                <= stats["cycles"] + 1e-9
+        smp.check_invariants()
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SchedulerError):
+            make_smp(0)
+
+    def test_budget_regressions_apply_to_smp(self):
+        smp = make_smp(2)
+
+        def body():
+            return 1
+            yield  # pragma: no cover - marks this as a generator
+
+        smp.create_thread("one-shot", body)
+        smp.run(max_switches=1)
+
+        smp2 = make_smp(2)
+
+        def forever():
+            while True:
+                yield yield_()
+
+        smp2.create_thread("loop", forever)
+        with pytest.raises(SchedulerError, match="budget"):
+            smp2.run(max_switches=50)
+
+
+class TestWakeOrdering:
+    @pytest.mark.parametrize("factory", [make_serial, lambda: make_smp(2)])
+    def test_waiters_wake_fifo(self, factory):
+        sched = factory()
+        queue = WaitQueue()
+        order = []
+
+        def waiter(name):
+            def body():
+                yield block(queue)
+                order.append(name)
+            return body
+
+        def waker():
+            yield yield_()  # let every waiter block first
+            for _ in range(3):
+                sched.wake(queue)
+                yield yield_()
+
+        for name in ("first", "second", "third"):
+            sched.create_thread(name, waiter(name))
+        sched.create_thread("waker", waker)
+        sched.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestDeadlockDetection:
+    @pytest.mark.parametrize("factory", [make_serial, lambda: make_smp(2)])
+    def test_blocked_forever_detected(self, factory):
+        sched = factory()
+        queue = WaitQueue()
+
+        def waiter():
+            yield block(queue)
+
+        sched.create_thread("stuck", waiter)
+        with pytest.raises(SchedulerError, match="deadlock.*stuck"):
+            sched.run()
+
+    @pytest.mark.parametrize("factory", [make_serial, lambda: make_smp(2)])
+    def test_sleep_forever_plus_blocked_detected(self, factory):
+        """A sleeper that exits leaves the blocked thread with no waker:
+        the deadlock must be detected once the sleeper is gone, not spin
+        the clock forever."""
+        sched = factory()
+        queue = WaitQueue()
+
+        def waiter():
+            yield block(queue)
+
+        def sleeper():
+            yield sleep(10_000)
+
+        sched.create_thread("stuck", waiter)
+        sched.create_thread("napper", sleeper)
+        with pytest.raises(SchedulerError, match="deadlock.*stuck"):
+            sched.run()
+
+
+# -- the random-program invariant property -----------------------------------
+OPS = ("yield", "sleep", "block", "wake", "wake_all", "exit")
+
+program_strategy = st.lists(
+    st.lists(
+        st.sampled_from(OPS).flatmap(
+            lambda op: st.tuples(
+                st.just(op),
+                st.integers(min_value=0, max_value=1)
+                if op in ("block", "wake", "wake_all")
+                else st.sampled_from([0, 100, 1000])
+                if op == "sleep" else st.just(0),
+            )
+        ),
+        min_size=0, max_size=6,
+    ),
+    min_size=1, max_size=4,
+)
+
+
+def interpret(sched, program):
+    """Run a random program; returns (log, outcome)."""
+    log = []
+    queues = [WaitQueue("q0"), WaitQueue("q1")]
+
+    def thread_body(tid, ops):
+        def body():
+            for step, (op, arg) in enumerate(ops):
+                sched.check_invariants()
+                log.append((tid, step, op))
+                if op == "yield":
+                    yield yield_()
+                elif op == "sleep":
+                    yield sleep(arg)
+                elif op == "block":
+                    yield block(queues[arg])
+                elif op == "wake":
+                    sched.wake(queues[arg])
+                elif op == "wake_all":
+                    sched.wake_all(queues[arg])
+                elif op == "exit":
+                    return
+        return body
+
+    for tid, ops in enumerate(program):
+        sched.create_thread("t%d" % tid, thread_body(tid, ops))
+    try:
+        sched.run()
+    except SchedulerError as err:
+        assert "deadlock" in str(err)
+        outcome = "deadlock"
+    else:
+        outcome = "done"
+    sched.check_invariants()
+    return log, outcome
+
+
+class TestInvariantProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy)
+    def test_serial_invariants_hold(self, program):
+        interpret(make_serial(), program)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy,
+           n_cores=st.integers(min_value=1, max_value=3))
+    def test_smp_invariants_hold(self, program, n_cores):
+        interpret(make_smp(n_cores), program)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy)
+    def test_smp_n1_matches_serial(self, program):
+        """Same program, same log, same outcome, same clock at N=1."""
+        serial = make_serial()
+        smp = make_smp(1)
+        serial_result = interpret(serial, program)
+        smp_result = interpret(smp, program)
+        assert serial_result == smp_result
+        assert serial.clock.cycles == smp.clock.cycles
