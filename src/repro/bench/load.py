@@ -177,9 +177,18 @@ def _boot_with_net(mechanism, isolate, mpk_gate, cores):
     return instance, host, machine
 
 
-def _tracer_scope(trace, tracer, clock):
+def _tracer_scope(trace, tracer, clock, hub=None):
     from contextlib import nullcontext
 
+    if hub is not None:
+        hub.bind_clock(clock)
+        if tracer is None:
+            tracer = hub.tracer(keep_events=trace)
+        else:
+            # Caller brought a tracer; wire it into the hub so spans and
+            # windowed counters still flow.
+            tracer.metrics = hub.metrics
+            tracer.spans = hub.spans
     if tracer is None and trace:
         tracer = Tracer(clock=clock, keep_events=False)
     scope = tracing(tracer) if tracer is not None else nullcontext()
@@ -198,7 +207,7 @@ def _split(n, buckets):
 
 
 def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
-                  connections, mpk_gate, trace, tracer):
+                  connections, mpk_gate, trace, tracer, hub):
     """Open- or closed-loop load against a TCP app (redis or nginx)."""
     if app == "redis":
         port = 6379
@@ -223,7 +232,15 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
     latencies = []
     reply_bytes = [0]
     window = {"first": None, "last": 0.0}
-    tracer, scope = _tracer_scope(trace, tracer, clock)
+    tracer, scope = _tracer_scope(trace, tracer, clock, hub)
+    spans = hub.spans if hub is not None else None
+    if spans is not None:
+        # One span feed per connection: the handler threads are created
+        # in accept order, which matches the harness's connect order, so
+        # connection index i is served by "<app>-conn-i"; requests on a
+        # connection are served FIFO (one TCP byte stream).
+        for index in range(connections):
+            spans.register_feed("%s-conn-%d" % (app, index), app)
     with scope, instance.run():
         server = make_server(instance)
         if app == "nginx":
@@ -261,6 +278,10 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                             sent_at = pending.popleft()
                             now = clock.cycles
                             latencies.append(now - sent_at)
+                            if spans is not None:
+                                spans.complete_next(
+                                    "%s-conn-%d" % (app, index), now=now,
+                                )
                             window["last"] = max(window["last"], now)
                             done += 1
                         continue
@@ -286,6 +307,11 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                         yield sleep(clock.cycles_to_ns(due - now))
                     index = i % connections
                     pendings[index].append(due)
+                    if spans is not None:
+                        spans.inject(
+                            "%s-conn-%d" % (app, index),
+                            name="%s-%d" % (app, i), arrival_cycles=due,
+                        )
                     host.send(socks[index], request)
                 return len(offsets)
             return body
@@ -298,11 +324,17 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                 )
                 rlen = len(reply)
                 done = 0
-                for _ in range(counts[index]):
+                for i in range(counts[index]):
                     sent_at = clock.cycles
                     if window["first"] is None or \
                             sent_at < window["first"]:
                         window["first"] = sent_at
+                    if spans is not None:
+                        spans.inject(
+                            "%s-conn-%d" % (app, index),
+                            name="%s-%d.%d" % (app, index, i),
+                            arrival_cycles=sent_at,
+                        )
                     host.send(socks[index], request)
                     got = yield from host.recv_exactly(
                         socks[index], rlen, max_polls=_MAX_STALL_POLLS,
@@ -313,6 +345,10 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                         )
                     now = clock.cycles
                     latencies.append(now - sent_at)
+                    if spans is not None:
+                        spans.complete_next(
+                            "%s-conn-%d" % (app, index), now=now,
+                        )
                     window["last"] = max(window["last"], now)
                     done += 1
                 reply_bytes[0] += done * rlen
@@ -357,7 +393,7 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
 
 
 def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
-                     connections, mpk_gate, trace, tracer):
+                     connections, mpk_gate, trace, tracer, hub):
     """Load against SQLite: a worker pool draining an arrival queue.
 
     ``connections`` is the worker-pool width here (there is no network);
@@ -376,7 +412,16 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
     state = {"produced": 0, "done": False}
     queue = deque()
     waitq = WaitQueue("sqlite-load")
-    tracer, scope = _tracer_scope(trace, tracer, clock)
+    tracer, scope = _tracer_scope(trace, tracer, clock, hub)
+    spans = hub.spans if hub is not None else None
+    if spans is not None:
+        # The worker pool drains one shared queue, so all workers serve
+        # one shared feed: a worker pops a row and enters the sqlite
+        # library in the same slice, preserving FIFO claim order.
+        spans.register_feed(
+            "sqlite", "sqlite",
+            threads=["db-worker-%d" % i for i in range(max(1, connections))],
+        )
     with scope, instance.run():
         engine = SqliteApp.make_engine(instance)
         engine.execute("CREATE TABLE load (k, v)")
@@ -393,6 +438,8 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
                         )
                         now = clock.cycles
                         latencies.append(now - due)
+                        if spans is not None:
+                            spans.complete_next("sqlite", now=now)
                         window["last"] = max(window["last"], now)
                         served += 1
                         yield yield_()
@@ -410,6 +457,9 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
                 # back to back and the queue depth is the backlog.
                 for row in range(n_requests):
                     queue.append((row, clock.cycles))
+                    if spans is not None:
+                        spans.inject("sqlite", name="insert-%d" % row,
+                                     arrival_cycles=clock.cycles)
                 state["done"] = True
                 sched.wake_all(waitq)
                 return n_requests
@@ -422,6 +472,9 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
                 if due > now:
                     yield sleep(clock.cycles_to_ns(due - now))
                 queue.append((row, due))
+                if spans is not None:
+                    spans.inject("sqlite", name="insert-%d" % row,
+                                 arrival_cycles=due)
                 sched.wake(waitq)
             state["done"] = True
             sched.wake_all(waitq)
@@ -446,7 +499,7 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
 
 def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
              cores=2, connections=4, mpk_gate="full", trace=False,
-             tracer=None):
+             tracer=None, hub=None):
     """Run one load point; returns a :class:`LoadResult`.
 
     Args:
@@ -461,6 +514,13 @@ def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
         connections: client connections (worker-pool width for sqlite).
         trace: record obs metrics (``sched.core.*``, queue depths) for
             the run; the tracer rides on :attr:`LoadResult.tracer`.
+        hub: a :class:`~repro.obs.TelemetryHub` to feed during the run —
+            windowed counters, a request span per injected request
+            (claimed/completed by the harness, decomposed into
+            queue/gate/app cycles), SLO burn rates, slow-request
+            exemplars.  The hub's clock is bound to the instance clock
+            at boot; read it back through ``hub.snapshot()`` /
+            ``hub.tail_report()`` after the run.
     """
     if app not in LOAD_APPS:
         raise ReproError(
@@ -470,7 +530,7 @@ def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
         raise ReproError("need at least one connection")
     kwargs = dict(rate_rps=rate_rps, n_requests=n_requests, seed=seed,
                   cores=cores, connections=connections, mpk_gate=mpk_gate,
-                  trace=trace, tracer=tracer)
+                  trace=trace, tracer=tracer, hub=hub)
     if app == "sqlite":
         return _run_sqlite_load(mechanism, **kwargs)
     return _run_tcp_load(app, mechanism, **kwargs)

@@ -506,6 +506,102 @@ def cmd_obs_diff(args, out):
                 payload)
 
 
+def _us_to_cycles(us):
+    from repro.hw.clock import XEON_4114_HZ
+
+    return us * 1e-6 * XEON_4114_HZ
+
+
+def _hub_load(args, slo_targets=(), trace=False):
+    """Run one load point feeding a TelemetryHub; returns (result, hub)."""
+    from repro.bench.load import run_load
+    from repro.obs import TelemetryHub
+
+    hub = TelemetryHub(window_cycles=args.window_cycles,
+                       slo_targets=slo_targets)
+    result = run_load(
+        args.app, args.mechanism, rate_rps=args.rate,
+        n_requests=args.requests, seed=args.seed,
+        cores=None if args.cores == 0 else args.cores,
+        connections=args.connections, mpk_gate=args.mpk_gate,
+        trace=trace, hub=hub,
+    )
+    return result, hub
+
+
+def cmd_obs_tail(args, out):
+    """Load run -> windowed tail report: decomposition, SLO burn,
+    slow-request exemplars."""
+    from repro.obs import SloTarget, chrome_trace_json
+
+    targets = ()
+    if args.slo_us is not None:
+        targets = (SloTarget("p%g-%sus" % (100.0 * args.objective,
+                                           ("%g" % args.slo_us)),
+                             _us_to_cycles(args.slo_us),
+                             objective=args.objective),)
+    result, hub = _hub_load(args, slo_targets=targets,
+                            trace=bool(args.trace))
+    hub.spans.check_all()
+    summary = result.summary()
+    text = hub.tail_report(headline={
+        "app": args.app,
+        "mechanism": args.mechanism,
+        "p99": "%.2fus" % summary["p99_us"],
+    })
+    if args.trace:
+        write_file(args.trace, chrome_trace_json(result.tracer), out,
+                   label="trace (chrome://tracing or perfetto)")
+    payload = hub.snapshot()
+    payload["load"] = summary
+    if args.evaluator_input:
+        payload["evaluator_input"] = hub.evaluator_input()
+    return emit(args, out, text, payload, label="tail report")
+
+
+def cmd_obs_slo(args, out):
+    """Evaluate an SLO target across isolation mechanisms under load."""
+    from repro.obs import SloTarget
+
+    threshold = _us_to_cycles(args.slo_us)
+    rows = []
+    payload = {"slo_us": args.slo_us, "objective": args.objective,
+               "mechanisms": {}}
+    for mechanism in args.mechanisms.split(","):
+        args.mechanism = mechanism.strip()
+        target = SloTarget("p%g" % (100.0 * args.objective), threshold,
+                           objective=args.objective)
+        result, hub = _hub_load(args, slo_targets=(target,))
+        hub.spans.check_all()
+        evaluator = hub.slos[0]
+        snap = evaluator.snapshot()
+        shares = hub.decomposition()["shares"]
+        summary = result.summary()
+        worst = evaluator.worst_window()
+        rows.append((
+            args.mechanism,
+            "met" if snap["met"] else "VIOLATED",
+            "%.2f" % snap["overall_burn"],
+            "%.2f" % summary["p99_us"],
+            "%.0f%%" % (100.0 * shares["queue_cycles"]),
+            "%.0f%%" % (100.0 * shares["gate_cycles"]),
+            "%.0f%%" % (100.0 * shares["app_cycles"]),
+            "%d@%.1f" % worst if worst else "-",
+        ))
+        payload["mechanisms"][args.mechanism] = {
+            "slo": snap, "load": summary,
+            "decomposition": hub.decomposition(),
+        }
+    text = format_table(
+        rows,
+        headers=("mechanism", "slo", "burn", "p99 us", "queue", "gate",
+                 "app", "worst win"),
+        title="SLO %gus @ p%g, %s" % (args.slo_us, 100.0 * args.objective,
+                                      args.app),
+    )
+    return emit(args, out, text, payload, label="slo report")
+
+
 def cmd_obs_check(args, out):
     """The perf gate: check current snapshots against the baselines."""
     from repro.obs import check_baselines
@@ -763,6 +859,65 @@ def build_parser():
                          help="also list unchanged metrics")
     add_output_options(p_odiff)
     p_odiff.set_defaults(func=cmd_obs_diff)
+
+    def add_tail_load_args(p):
+        """Load-point options shared by ``obs tail`` and ``obs slo``."""
+        p.add_argument("app", choices=("redis", "nginx", "sqlite"))
+        p.add_argument("--rate", type=float, default=20000.0, metavar="RPS",
+                       help="offered arrival rate in requests per virtual "
+                            "second (default: %(default)s)")
+        p.add_argument("--requests", type=int, default=96,
+                       help="total requests across all connections")
+        p.add_argument("--mpk-gate", default="full",
+                       choices=("full", "light"))
+        p.add_argument("--cores", type=int, default=2,
+                       help="virtual cores (0 = serial reference "
+                            "scheduler)")
+        p.add_argument("--connections", type=int, default=4,
+                       help="client connections (worker-pool width for "
+                            "sqlite)")
+        p.add_argument("--window-cycles", type=float, default=100_000.0,
+                       help="telemetry window width in virtual cycles")
+        p.add_argument("--objective", type=float, default=0.99,
+                       help="SLO objective (fraction of requests under "
+                            "the threshold; default %(default)s)")
+        add_seed_option(p)
+        add_output_options(p)
+
+    p_otail = obs_sub.add_parser(
+        "tail", help="run load feeding the telemetry hub: windowed "
+                     "series, latency decomposition, SLO burn, slow-"
+                     "request exemplars",
+    )
+    add_tail_load_args(p_otail)
+    p_otail.add_argument("--mechanism", default="intel-mpk",
+                         choices=("none", "intel-mpk", "vm-ept"))
+    p_otail.add_argument("--slo-us", type=float, default=None,
+                         metavar="US",
+                         help="latency SLO threshold in virtual "
+                              "microseconds (enables burn-rate and "
+                              "exemplar tracking)")
+    p_otail.add_argument("--trace", default=None, metavar="FILE",
+                         help="also write a Chrome trace of the run "
+                              "(one lane per virtual core)")
+    p_otail.add_argument("--evaluator-input", action="store_true",
+                         help="include the live-evaluator window series "
+                              "in the JSON payload")
+    p_otail.set_defaults(func=cmd_obs_tail)
+
+    p_oslo = obs_sub.add_parser(
+        "slo", help="evaluate one latency SLO across isolation "
+                    "mechanisms under identical load",
+    )
+    add_tail_load_args(p_oslo)
+    p_oslo.add_argument("--slo-us", type=float, default=200.0,
+                        metavar="US",
+                        help="latency SLO threshold in virtual "
+                             "microseconds (default %(default)s)")
+    p_oslo.add_argument("--mechanisms", default="none,intel-mpk",
+                        help="comma-separated mechanisms to compare "
+                             "(default: %(default)s)")
+    p_oslo.set_defaults(func=cmd_obs_slo)
 
     p_ocheck = obs_sub.add_parser(
         "check", help="perf gate: fail on unexplained metric changes "

@@ -143,10 +143,20 @@ class Gate:
         span = tracer.gate_begin(self, ctx, library) if tracer.enabled \
             else None
         status = "ok"
+        clock = ctx.clock
+        # Pure crossing overhead: the cycles charged entering and leaving
+        # the domain (one-way costs, stack creation, descriptor copies),
+        # excluding everything the callee itself did.  Measured by clock
+        # reads around the unchanged charge sequence, so enabling the
+        # measurement perturbs no virtual-time result; request spans book
+        # exactly this as the crossing's gate cycles.
+        overhead = 0.0
         ctx.gate_depth += 1
         try:
-            ctx.clock.charge(self.one_way_cost())
+            entered_at = clock.cycles
+            clock.charge(self.one_way_cost())
             state = self._enter(ctx)
+            overhead += clock.cycles - entered_at
             previous_comp = ctx.compartment
             ctx.compartment = self.dst.index
             try:
@@ -160,15 +170,18 @@ class Gate:
                 return result
             finally:
                 ctx.compartment = previous_comp
-                ctx.clock.charge(self.one_way_cost())
+                left_at = clock.cycles
+                clock.charge(self.one_way_cost())
                 self._leave(ctx, state)
+                overhead += clock.cycles - left_at
         except ReproError as fault:
             status = type(fault).__name__
             raise
         finally:
             ctx.gate_depth -= 1
             if span is not None:
-                tracer.gate_end(span, ctx, status=status)
+                tracer.gate_end(span, ctx, status=status,
+                                overhead=overhead)
 
 
 class FunctionCallGate(Gate):

@@ -15,6 +15,7 @@ from repro.core.hardening import work_multiplier
 from repro.errors import BuildError, EntryPointViolation
 from repro.hw.cpu import current_context
 from repro.kernel.lib import get_library
+from repro.obs import tracer as obs
 
 
 class Compartment:
@@ -178,20 +179,33 @@ class Router:
     def route(self, library, func, args, kwargs):
         ctx = current_context()
         dst = self.image.compartment_of(library)
-        if dst.index == ctx.compartment:
-            # Same compartment: a classical function call (Fig. 3 step 3b).
-            self.direct_calls += 1
-            ctx.clock.charge(self.costs.function_call)
-            with ctx.in_library(library):
-                return func(*args, **kwargs)
-        name = getattr(func, "__name__", str(func))
-        declared_entry = (
-            getattr(func, "__flexos_entry__", False)
-            and getattr(func, "__flexos_library__", None) == library
-        )
-        if not declared_entry and not self.image.is_legal_entry(dst.index,
-                                                                name):
-            raise EntryPointViolation(name, dst.name)
-        self.gated_calls += 1
-        gate = self.gate_between(ctx.compartment, dst.index)
-        return gate.call(ctx, library, func, args, kwargs)
+        # Entry hooks drive request-span claiming (repro.obs.spans) and
+        # must fire on *both* paths below: under a single-compartment
+        # layout every call is direct and no gate event ever exists, yet
+        # a request's service interval still has to be observed.  The
+        # hooks never charge the clock (tracer rules).
+        tracer = obs.ACTIVE
+        token = tracer.entry_begin(library, ctx) if tracer.enabled \
+            else None
+        try:
+            if dst.index == ctx.compartment:
+                # Same compartment: a classical function call
+                # (Fig. 3 step 3b).
+                self.direct_calls += 1
+                ctx.clock.charge(self.costs.function_call)
+                with ctx.in_library(library):
+                    return func(*args, **kwargs)
+            name = getattr(func, "__name__", str(func))
+            declared_entry = (
+                getattr(func, "__flexos_entry__", False)
+                and getattr(func, "__flexos_library__", None) == library
+            )
+            if not declared_entry and not self.image.is_legal_entry(
+                    dst.index, name):
+                raise EntryPointViolation(name, dst.name)
+            self.gated_calls += 1
+            gate = self.gate_between(ctx.compartment, dst.index)
+            return gate.call(ctx, library, func, args, kwargs)
+        finally:
+            if token is not None:
+                tracer.entry_end(token, ctx)

@@ -151,14 +151,20 @@ class Scheduler:
         if thread is not None:
             thread.ready_at_cycles = self.clock.cycles
             self._run_queue.append(thread)
+            tracer = obs.ACTIVE
+            if tracer.enabled:
+                tracer.thread_wake(thread)
         return thread
 
     @entrypoint("uksched")
     def wake_all(self, queue):
         work(self.costs.sched_yield)
         woken = queue.wake_all()
+        tracer = obs.ACTIVE
         for thread in woken:
             thread.ready_at_cycles = self.clock.cycles
+            if tracer.enabled:
+                tracer.thread_wake(thread)
         self._run_queue.extend(woken)
         return woken
 
@@ -173,11 +179,14 @@ class Scheduler:
 
     def _collect_wakeups(self):
         still_sleeping = []
+        tracer = obs.ACTIVE
         for thread in self._sleepers:
             if thread.wake_at_cycles <= self.clock.cycles:
                 thread.state = ThreadState.READY
                 thread.ready_at_cycles = thread.wake_at_cycles
                 self._run_queue.append(thread)
+                if tracer.enabled:
+                    tracer.thread_wake(thread)
             else:
                 still_sleeping.append(thread)
         self._sleepers = still_sleeping

@@ -163,7 +163,8 @@ class SmpScheduler(Scheduler):
             if ctx is not None:
                 self._install_core_tlb(ctx, core)
             if tracer.enabled:
-                tracer.core_dispatch(core.index, len(self._run_queue))
+                tracer.core_dispatch(core.index, len(self._run_queue),
+                                     thread=thread)
             op = self._dispatch(thread, None)
             self._apply(thread, op)
             end = self.clock.cycles

@@ -44,6 +44,12 @@ class Thread:
         #: a core whose local clock is still behind it.
         self.ready_at_cycles = 0.0
         self.result = None
+        #: The :class:`~repro.obs.spans.RequestSpan` this thread is
+        #: currently serving (set by the span tracker at claim, cleared
+        #: when the entry-point call returns).  Riding on the thread —
+        #: not the call stack — is what carries span context across
+        #: Sleep/Block reschedules and SMP core migrations.
+        self.span = None
         #: compartment id -> stack Region (the stack registry entry).
         self.stacks = {}
         #: compartment id -> DSS Region.

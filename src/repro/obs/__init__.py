@@ -41,6 +41,7 @@ from repro.obs.export import (
     flamegraph,
     metrics_json,
 )
+from repro.obs.hub import HUB_SCHEMA_VERSION, TelemetryHub
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.regress import (
     SNAPSHOT_SCHEMA_VERSION,
@@ -51,6 +52,9 @@ from repro.obs.regress import (
     flatten_metrics,
     load_snapshot,
 )
+from repro.obs.slo import SloEvaluator, SloTarget, SlowSampler
+from repro.obs.spans import RequestSpan, SpanTracker
+from repro.obs.timeseries import WindowedTelemetry
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -63,14 +67,22 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "HUB_SCHEMA_VERSION",
     "NULL_TRACER",
     "SNAPSHOT_SCHEMA_VERSION",
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "RequestSpan",
+    "SloEvaluator",
+    "SloTarget",
+    "SlowSampler",
+    "SpanTracker",
+    "TelemetryHub",
     "TraceAnalysis",
     "TraceEvent",
     "Tracer",
+    "WindowedTelemetry",
     "analyze",
     "check_baselines",
     "check_snapshot",

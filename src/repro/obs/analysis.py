@@ -249,8 +249,25 @@ class CrossingMatrix:
             ],
         }
 
-    def to_text(self):
+    def _ranked_indices(self, top_k):
+        """Compartment indices to show: all of them, or the ``top_k``
+        hottest by total attributed cycles (row + column), re-sorted to
+        index order so the matrix stays readable."""
         indices = self.indices
+        if top_k is None or len(indices) <= top_k:
+            return indices, []
+        involvement = {i: 0.0 for i in indices}
+        for (i, j), cycles in self.cycles.items():
+            involvement[i] += cycles
+            involvement[j] += cycles
+        kept = sorted(
+            sorted(indices, key=lambda i: (-involvement[i], i))[:top_k]
+        )
+        omitted = [i for i in indices if i not in set(kept)]
+        return kept, omitted
+
+    def to_text(self, top_k=None):
+        indices, omitted = self._ranked_indices(top_k)
         rows = []
         for i in indices:
             row = {"from \\ to": self.names[i]}
@@ -263,8 +280,19 @@ class CrossingMatrix:
             rows.append(row)
         title = ("crossing matrix: crossings / attributed cycles "
                  "(%d compartments, %d crossings)"
-                 % (len(indices), self.total_crossings()))
-        return _format_table(rows, title=title)
+                 % (len(self.names), self.total_crossings()))
+        text = _format_table(rows, title=title)
+        if omitted:
+            hidden = sum(
+                count for (i, j), count in self.counts.items()
+                if i not in set(indices) or j not in set(indices)
+            )
+            text += (
+                "\n(%d compartments omitted — %d crossings not shown; "
+                "rerun with a larger --top for the full matrix)"
+                % (len(omitted), hidden)
+            )
+        return text
 
     def __repr__(self):
         return "CrossingMatrix(%d compartments, %d crossings)" % (
@@ -358,7 +386,7 @@ class TraceAnalysis:
         sections = [
             "\n".join(header),
             path.to_text(top_k),
-            self.crossing_matrix().to_text(),
+            self.crossing_matrix().to_text(top_k),
             _format_table(self._library_rows(top_k),
                          title="top callee libraries (attributed cycles)"),
         ]

@@ -23,17 +23,41 @@ def _cycles_to_us(cycles, freq_hz):
 
 
 def chrome_trace(tracer, pid=1):
-    """Render a tracer's events as a Chrome trace-event dict."""
+    """Render a tracer's events as a Chrome trace-event dict.
+
+    SMP runs get **one lane per virtual core**: events recorded inside a
+    core's slice carry the core index (stamped by the SMP scheduler's
+    dispatch hook) and are emitted with ``tid = core``, so per-core
+    timelines — and a thread's migrations between them — are visible in
+    ``about://tracing``/Perfetto.  Events recorded outside any slice
+    (boot, thread creation) land on one extra lane after the cores.
+    Serial traces have no core stamps and keep the single legacy lane
+    (``tid = 1``).
+    """
     freq_hz = tracer.clock.freq_hz if tracer.clock is not None \
         else XEON_4114_HZ
+    cores = sorted({
+        event.core for event in tracer.events if event.core is not None
+    })
+    spare_tid = (cores[-1] + 1) if cores else 1
     trace_events = []
+    if cores:
+        for core in cores:
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": core, "args": {"name": "core %d" % core},
+            })
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": spare_tid, "args": {"name": "boot/off-core"},
+        })
     for event in tracer.events:
         common = {
             "name": event.name,
             "cat": event.cat,
             "ts": _cycles_to_us(event.ts, freq_hz),
             "pid": pid,
-            "tid": 1,
+            "tid": event.core if event.core is not None else spare_tid,
             "args": _jsonable_args(event.args),
         }
         if event.is_span:
@@ -48,6 +72,7 @@ def chrome_trace(tracer, pid=1):
         "displayTimeUnit": "ns",
         "otherData": {
             "clock": "virtual cycles @ %.2f GHz" % (freq_hz / 1e9),
+            "cores": len(cores),
             "events": len(trace_events),
         },
     }

@@ -49,6 +49,16 @@ class Histogram:
 
     ``counts[i]`` counts observations ``<= buckets[i]`` (and greater
     than the previous bound); ``counts[-1]`` is the overflow bucket.
+
+    Boundary rule: bucket bounds are **inclusive upper bounds**.  A
+    value exactly equal to ``buckets[i]`` lands in ``counts[i]``, never
+    in ``counts[i + 1]`` — e.g. with bounds ``(50, 100)``, observing
+    exactly ``50.0`` increments the first bucket, and exactly
+    ``buckets[-1]`` increments the last bounded bucket, not overflow.
+    This matters because the tree's cost model produces exact round
+    values (a gate's one-way cost, a power-of-two allocation size), so
+    edge hits are the common case, not a float accident;
+    ``tests/test_obs.py::TestHistogramBucketEdges`` pins the rule.
     """
 
     __slots__ = ("buckets", "counts", "total", "sum")
@@ -88,9 +98,20 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Counters and histograms aggregated from the trace stream."""
+    """Counters and histograms aggregated from the trace stream.
 
-    def __init__(self):
+    Args:
+        timeseries: optional
+            :class:`~repro.obs.timeseries.WindowedTelemetry` every
+            recording hook tees into, so the same stream that feeds the
+            whole-run aggregates also feeds the windowed flight
+            recorder.  The aggregate :meth:`snapshot` shape is
+            unaffected (the perf-gate baselines stay byte-identical);
+            windowed state is read through the telemetry object itself.
+    """
+
+    def __init__(self, timeseries=None):
+        self.timeseries = timeseries
         #: (src_name, dst_name, gate_kind) -> crossings.
         self.gate_crossings = {}
         #: (src_name, dst_name) -> latency Histogram (virtual cycles).
@@ -156,15 +177,24 @@ class MetricsRegistry:
                 GATE_LATENCY_BUCKETS,
             )
         histogram.observe(duration)
+        if self.timeseries is not None:
+            self.timeseries.bump("gate.crossings")
+            self.timeseries.bump("gate.cycles", duration)
 
     def record_pkru_write(self, op):
         self.pkru_writes += 1
+        if self.timeseries is not None:
+            self.timeseries.bump("pkru.writes")
 
     def record_fault(self, fault_type):
         self.faults[fault_type] = self.faults.get(fault_type, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("faults")
 
     def record_supervision(self, action):
         self.supervision[action] = self.supervision.get(action, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("supervision.%s" % action)
 
     def record_alloc(self, op, region, size, fast):
         if op == "alloc":
@@ -176,28 +206,42 @@ class MetricsRegistry:
         else:
             self.frees += 1
         self.alloc_by_region[region] = self.alloc_by_region.get(region, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("alloc.%s" % op)
 
     def record_context_switch(self):
         self.context_switches += 1
+        if self.timeseries is not None:
+            self.timeseries.bump("sched.switches")
 
     def record_tcp_segment(self, direction):
         self.tcp_segments[direction] = self.tcp_segments.get(direction, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("net.%s" % direction)
 
     def record_space_switch(self):
         self.space_switches += 1
+        if self.timeseries is not None:
+            self.timeseries.bump("ept.space_switches")
 
     def record_window_alloc(self, nbytes, wrapped):
         self.window_allocs += 1
         self.window_bytes += nbytes
         if wrapped:
             self.window_wraps += 1
+        if self.timeseries is not None:
+            self.timeseries.bump("ept.window_allocs")
 
     def record_irq(self, line):
         self.irqs[line] = self.irqs.get(line, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("irqs")
 
     def record_fs_op(self, layer, op):
         key = "%s.%s" % (layer, op)
         self.fs_ops[key] = self.fs_ops.get(key, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("fs.ops")
 
     def record_explore_wave(self, scheduled, evaluated, cache_hits, pruned):
         self.explore_waves += 1
@@ -208,9 +252,13 @@ class MetricsRegistry:
 
     def record_tlb(self, op):
         self.tlb[op] = self.tlb.get(op, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("tlb.%s" % op)
 
     def record_reconfig(self, action):
         self.reconfig[action] = self.reconfig.get(action, 0) + 1
+        if self.timeseries is not None:
+            self.timeseries.bump("reconfig.%s" % action)
 
     def record_reconfig_blackout(self, cycles, queued):
         self.reconfig_blackout.observe(cycles)
@@ -219,6 +267,9 @@ class MetricsRegistry:
     def record_core_dispatch(self, core, depth):
         self.core_dispatches[core] = self.core_dispatches.get(core, 0) + 1
         self.runqueue_depth.observe(depth)
+        if self.timeseries is not None:
+            self.timeseries.bump("sched.dispatches.core-%d" % core)
+            self.timeseries.bump("sched.runqueue_depth", depth)
 
     # -- derived views ----------------------------------------------------------
     def total_crossings(self):

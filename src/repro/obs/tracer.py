@@ -56,14 +56,17 @@ class TraceEvent:
     event-specific attributes, JSON-serialisable by construction.
     """
 
-    __slots__ = ("name", "cat", "ts", "dur", "args")
+    __slots__ = ("name", "cat", "ts", "dur", "args", "core")
 
-    def __init__(self, name, cat, ts, dur=None, args=None):
+    def __init__(self, name, cat, ts, dur=None, args=None, core=None):
         self.name = name
         self.cat = cat
         self.ts = ts
         self.dur = dur
         self.args = args or {}
+        #: Virtual core the event was recorded on (None outside SMP
+        #: slices); the Chrome exporter renders one lane per core.
+        self.core = core
 
     @property
     def is_span(self):
@@ -92,7 +95,16 @@ class NullTracer:
     def gate_begin(self, gate, ctx, library):
         return None
 
-    def gate_end(self, token, ctx, status="ok"):
+    def gate_end(self, token, ctx, status="ok", overhead=0.0):
+        pass
+
+    def entry_begin(self, library, ctx):
+        return None
+
+    def entry_end(self, token, ctx):
+        pass
+
+    def thread_wake(self, thread):
         pass
 
     def pkru_write(self, op, key):
@@ -131,7 +143,7 @@ class NullTracer:
     def tlb_op(self, op):
         pass
 
-    def core_dispatch(self, core, depth):
+    def core_dispatch(self, core, depth, thread=None):
         pass
 
     def reconfig(self, action, **args):
@@ -173,6 +185,12 @@ class Tracer:
         self.events = []
         #: Open gate spans: [label, child_cycles_accumulator] entries.
         self._stack = []
+        #: :class:`~repro.obs.spans.SpanTracker` driven by the entry,
+        #: gate, wake, and core hooks (None = span tracing off).
+        self.spans = None
+        #: Virtual core of the slice currently executing (stamped by the
+        #: SMP scheduler via :meth:`core_dispatch`; None when serial).
+        self.current_core = None
 
     # -- internals -----------------------------------------------------------
     def _now(self):
@@ -180,6 +198,7 @@ class Tracer:
 
     def _record(self, event):
         if self.keep_events:
+            event.core = self.current_core
             self.events.append(event)
 
     def instant(self, name, cat, **args):
@@ -200,8 +219,15 @@ class Tracer:
                 ctx.gate_depth, frame,
                 tuple(entry[0] for entry in self._stack))
 
-    def gate_end(self, token, ctx, status="ok"):
-        """Close a crossing span opened by :meth:`gate_begin`."""
+    def gate_end(self, token, ctx, status="ok", overhead=0.0):
+        """Close a crossing span opened by :meth:`gate_begin`.
+
+        ``overhead`` is the crossing's *pure* isolation cost — the cycles
+        the gate charged entering and leaving the domain, measured by
+        :meth:`~repro.core.gates.Gate._call_once` — as opposed to
+        ``dur``, which includes the callee's work.  Request spans book
+        exactly this overhead as gate cycles.
+        """
         gate, library, src_library, begin, depth, frame, stack = token
         end = ctx.clock.cycles
         duration = end - begin
@@ -224,6 +250,7 @@ class Tracer:
                 "one_way_cost": gate.one_way_cost(),
                 "status": status,
                 "self_cycles": self_cycles,
+                "overhead_cycles": overhead,
                 "stack": stack,
             },
         ))
@@ -231,6 +258,35 @@ class Tracer:
             gate.src.name, gate.dst.name, gate.src.index, gate.dst.index,
             gate.kind, library, duration,
         )
+        if self.spans is not None:
+            self.spans.on_gate(ctx, frame[0], gate.kind, begin, duration,
+                               overhead, depth, status)
+
+    # -- entry-point calls (span claiming) ---------------------------------------
+    def entry_begin(self, library, ctx):
+        """An entry-point call is starting (gated *or* same-compartment
+        direct); drives span claiming.  Returns a token for
+        :meth:`entry_end`, or None when no span tracking applies.  Never
+        records an event — the gated path already has its gate span, and
+        direct calls are the zero-overhead baseline."""
+        if self.spans is None:
+            return None
+        return self.spans.on_entry_begin(library, ctx)
+
+    def entry_end(self, token, ctx):
+        """Close an entry-point call opened by :meth:`entry_begin`."""
+        if token is not None:
+            self.spans.on_entry_end(token, ctx)
+
+    def thread_wake(self, thread):
+        """A thread became runnable (wake/wake_all/sleep expiry).
+
+        Counter-only, span-tracker-only: the scheduler fires this on
+        every wake-up, and request spans use it to count how many
+        reschedules the serving thread took between two requests.
+        """
+        if self.spans is not None:
+            self.spans.on_thread_wake(thread)
 
     # -- instant hooks ----------------------------------------------------------
     def pkru_write(self, op, key):
@@ -266,12 +322,19 @@ class Tracer:
         self.metrics.record_alloc(op, region, size, fast)
 
     def context_switch(self, previous, current):
-        """The scheduler dispatched a different thread."""
+        """The scheduler dispatched a different thread.
+
+        Also tells the span tracker the previous slice is over, which
+        closes a request span's post-entry linger window (see
+        :meth:`repro.obs.spans.SpanTracker.on_thread_dispatch`).
+        """
         self._record(TraceEvent(
             "switch", "sched", self._now(),
             args={"from": previous, "to": current},
         ))
         self.metrics.record_context_switch()
+        if self.spans is not None:
+            self.spans.on_thread_dispatch(current)
 
     def tcp_segment(self, direction, flags, nbytes, port=None):
         """One TCP segment left (``tx``) or reached (``rx``) the stack."""
@@ -336,16 +399,23 @@ class Tracer:
         """
         self.metrics.record_tlb(op)
 
-    def core_dispatch(self, core, depth):
+    def core_dispatch(self, core, depth, thread=None):
         """One SMP dispatch on ``core`` with ``depth`` threads left queued.
 
         Counter-only, like :meth:`tlb_op`: the SMP scheduler fires this
         on every slice, so recording an event object each time would
         swamp the stream under load.  The aggregate lands in the metrics
         snapshot's ``sched`` section and ``runqueue_depth`` histogram
-        (which appear only when the SMP scheduler actually ran).
+        (which appear only when the SMP scheduler actually ran).  As a
+        side effect the slice's core is remembered, so every event
+        recorded until the next dispatch is stamped with it (the Chrome
+        exporter's per-core lanes) and request spans know which core
+        served them.
         """
+        self.current_core = core
         self.metrics.record_core_dispatch(core, depth)
+        if self.spans is not None:
+            self.spans.on_core_dispatch(core, thread)
 
     def reconfig(self, action, **args):
         """One live-reconfiguration action (plan, phase entry, step,

@@ -16,6 +16,7 @@ import json
 import pytest
 
 from repro.bench.functional import run_functional_redis
+from repro.bench.load import run_load
 from repro.cli import main as cli_main
 from repro.errors import AllocationError, TransientFault
 from repro.faults.campaign import (
@@ -371,3 +372,152 @@ class TestCampaignTiming:
 
         results = run_scorecard(seed=1, n_faults=6)
         assert "cycles/fault" in format_scorecard(results)
+
+
+class TestHistogramBucketEdges:
+    """Pin the inclusive-upper-bound rule the Histogram docstring
+    documents: the cost model produces exact round values, so edge hits
+    are the common case and their bucket must be deterministic."""
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        histogram = Histogram((50.0, 100.0, 250.0))
+        histogram.observe(50.0)
+        assert histogram.counts == [1, 0, 0, 0]
+        histogram.observe(100.0)
+        assert histogram.counts == [1, 1, 0, 0]
+
+    def test_value_just_above_bound_spills_to_the_next(self):
+        histogram = Histogram((50.0, 100.0))
+        histogram.observe(50.0000001)
+        assert histogram.counts == [0, 1, 0]
+
+    def test_last_bound_is_not_overflow(self):
+        histogram = Histogram((50.0, 100.0))
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 1, 0]
+        histogram.observe(100.0000001)
+        assert histogram.counts == [0, 1, 1]
+
+    def test_every_builtin_bucket_table_obeys_the_rule(self):
+        from repro.obs.metrics import (
+            ALLOC_SIZE_BUCKETS,
+            GATE_LATENCY_BUCKETS,
+            RECONFIG_BLACKOUT_BUCKETS,
+            RUNQUEUE_DEPTH_BUCKETS,
+        )
+        for buckets in (GATE_LATENCY_BUCKETS, ALLOC_SIZE_BUCKETS,
+                        RECONFIG_BLACKOUT_BUCKETS,
+                        RUNQUEUE_DEPTH_BUCKETS):
+            histogram = Histogram(buckets)
+            for i, bound in enumerate(buckets):
+                histogram.observe(bound)
+                assert histogram.counts[i] == 1, (buckets, bound)
+            assert histogram.counts[-1] == 0   # no edge hit overflowed
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram((100.0, 50.0))
+
+
+class TestChromeCoreLanes:
+    """SMP chrome traces draw one lane per virtual core (tid = core)."""
+
+    @pytest.fixture(scope="class")
+    def smp_trace(self):
+        from repro.obs import TelemetryHub
+
+        hub = TelemetryHub()
+        result = run_load("redis", "intel-mpk", rate_rps=20000.0,
+                          n_requests=12, seed=1, cores=2,
+                          connections=2, trace=True, hub=hub)
+        return chrome_trace(result.tracer)
+
+    def test_one_lane_per_core_plus_spare(self, smp_trace):
+        lanes = {
+            event["tid"]: event["args"]["name"]
+            for event in smp_trace["traceEvents"]
+            if event.get("ph") == "M"
+        }
+        assert lanes == {0: "core 0", 1: "core 1", 2: "boot/off-core"}
+        assert smp_trace["otherData"]["cores"] == 2
+
+    def test_core_stamped_events_ride_their_lane(self, smp_trace):
+        tids = {
+            event["tid"] for event in smp_trace["traceEvents"]
+            if event.get("ph") != "M"
+        }
+        assert {0, 1} <= tids           # both cores saw work
+        assert tids <= {0, 1, 2}        # nothing outside the lanes
+
+    def test_serial_trace_keeps_legacy_single_lane(self):
+        run = run_functional_redis("intel-mpk", n_requests=5, trace=True)
+        payload = chrome_trace(run.tracer)
+        assert all(event["tid"] == 1
+                   for event in payload["traceEvents"])
+        assert payload["otherData"]["cores"] == 0
+        assert not [event for event in payload["traceEvents"]
+                    if event.get("ph") == "M"]
+
+
+class TestTailCli:
+    """`obs tail` and `obs slo`: the hub's CLI surface."""
+
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = cli_main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_tail_renders_the_decomposition(self):
+        code, output = self.run_cli([
+            "obs", "tail", "redis", "--requests", "16", "--cores", "2",
+            "--slo-us", "3",
+        ])
+        assert code == 0
+        assert "16 requests completed (16 claimed" in output
+        assert "latency decomposition" in output
+        assert "SLO p99-3us" in output
+
+    def test_tail_json_carries_hub_snapshot(self):
+        code, output = self.run_cli([
+            "obs", "tail", "redis", "--requests", "16", "--cores", "2",
+            "--format", "json", "--evaluator-input",
+        ])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["requests"]["completed"] == 16
+        assert payload["evaluator_input"]["windows"]
+        assert payload["load"]["p99_us"] > 0
+
+    def test_tail_trace_writes_per_core_lanes(self, tmp_path):
+        trace_path = tmp_path / "tail-trace.json"
+        report_path = tmp_path / "tail.txt"
+        code, _ = self.run_cli([
+            "obs", "tail", "redis", "--requests", "12", "--cores", "2",
+            "--trace", str(trace_path), "--out", str(report_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["cores"] == 2
+        assert "latency decomposition" in report_path.read_text()
+
+    def test_slo_compares_mechanisms(self):
+        code, output = self.run_cli([
+            "obs", "slo", "redis", "--requests", "16", "--slo-us", "3",
+            "--mechanisms", "none,intel-mpk",
+        ])
+        assert code == 0
+        assert "none" in output and "intel-mpk" in output
+        assert "queue" in output and "gate" in output
+
+    def test_tail_serial_reference_with_zero_cores(self):
+        code, output = self.run_cli([
+            "obs", "tail", "redis", "--requests", "12", "--cores", "0",
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["requests"]["causality_clamps"] == 0
+
+    def test_tracer_uninstalled_after_tail_run(self):
+        self.run_cli(["obs", "tail", "redis", "--requests", "8"])
+        assert get_tracer() is NULL_TRACER

@@ -314,3 +314,54 @@ class TestMetricsInvariantProperty:
             assert histogram.total == metrics.crossings_for_pair(src, dst)
         assert sum(h.total for h in metrics.gate_latency.values()) == \
             metrics.total_crossings()
+
+
+class TestCrossingMatrixTop:
+    """``obs report --top N`` trims the matrix to the N hottest
+    compartments and says what it hid."""
+
+    def _matrix(self):
+        from repro.obs.analysis import CrossingMatrix
+
+        names = {0: "kernel", 1: "lwip", 2: "redis", 3: "cold"}
+        counts = {(0, 1): 10, (1, 0): 10, (0, 2): 4, (2, 0): 4,
+                  (0, 3): 1, (3, 0): 1}
+        cycles = {(0, 1): 9000.0, (1, 0): 9000.0, (0, 2): 800.0,
+                  (2, 0): 800.0, (0, 3): 10.0, (3, 0): 10.0}
+        return CrossingMatrix(names, counts, cycles)
+
+    def test_untruncated_text_shows_every_compartment(self):
+        text = self._matrix().to_text()
+        for name in ("kernel", "lwip", "redis", "cold"):
+            assert name in text
+        assert "omitted" not in text
+
+    def test_top_keeps_hottest_by_involvement(self):
+        text = self._matrix().to_text(top_k=2)
+        assert "kernel" in text and "lwip" in text
+        assert "cold" not in text
+        # 2 compartments omitted; their 10 crossings are disclosed.
+        assert "2 compartments omitted" in text
+        assert "10 crossings not shown" in text
+        assert "--top" in text
+
+    def test_top_larger_than_matrix_is_a_no_op(self):
+        matrix = self._matrix()
+        assert matrix.to_text(top_k=16) == matrix.to_text()
+
+    def test_to_dict_is_never_truncated(self):
+        payload = self._matrix().to_dict()
+        assert payload["compartments"] == ["kernel", "lwip", "redis",
+                                           "cold"]
+        assert len(payload["counts"]) == 4
+
+    def test_report_text_honours_top(self, redis_run):
+        from repro.obs.analysis import TraceAnalysis
+
+        analysis = TraceAnalysis(redis_run.tracer,
+                                 headline={"app": "redis"})
+        full = analysis.to_text(top_k=10)
+        trimmed = analysis.to_text(top_k=1)
+        assert "omitted" not in full      # 2 compartments fit in 10
+        assert "compartments omitted" in trimmed
+        assert "app=redis" in trimmed
