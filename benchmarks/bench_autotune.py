@@ -1,0 +1,188 @@
+"""Closed-loop autotuning: SLO recovery under load shift and fault burst.
+
+Not a paper figure — the run-time extension of the paper's design-time
+argument.  FlexOS asks "which isolation layout fits this performance
+budget?" offline; this benchmark closes the loop online: a live redis
+instance serves a piecewise-Poisson schedule while the autotune loop
+(:mod:`repro.autotune`) samples windowed telemetry, prices the harden
+ladder with the ``live`` evaluator, and migrates the layout when the
+p99 SLO burns.
+
+Two scenarios, both seed-deterministic on the virtual clock:
+
+* **load_shift** — boot intel-mpk/full under a quiet/spike/quiet
+  schedule.  The spike queues the MPK gate bill into SLO burn; the loop
+  migrates to the cheaper ``none/full`` rung and the burn recovers
+  within the next sampled windows, while the spike is still running.
+  The scenario runs twice against one evaluation cache: the warm rerun
+  must reproduce the journal byte-identically with *zero* fresh
+  evaluations — the ranking replays from cache alone.
+* **fault_burst** — boot ``none/full`` under flat load, then inject a
+  burst of contained allocator OOMs into the isolated compartment.  The
+  supervisor's HardenPolicy trips, the loop hardens one rung and raises
+  the autotuner's admissibility floor, and the SLO stays met on the
+  stricter layout.
+
+The trajectory point records both journals in full — every decision,
+trigger, ranking and migration outcome — so ``obs diff`` can attribute
+any behavioural drift to the exact decision that changed.
+"""
+
+import json
+import tempfile
+
+from benchmarks.common import run_recorded, write_result
+from repro.autotune import run_autotune_redis
+from repro.explore.cache import EvaluationCache
+
+SEED = 1
+SLO_US = 12.0
+OBJECTIVE = 0.95
+
+#: Quiet — spike — quiet (rate_rps, n_requests) phases.
+SHIFT_SCHEDULE = ((120000.0, 150), (190000.0, 300), (120000.0, 150))
+
+#: Flat load for the fault scenario.
+FAULT_SCHEDULE = ((120000.0, 400),)
+
+#: (at_request, n_faults): contained allocator OOMs mid-run.
+FAULT_BURST = (150, 4)
+
+HARDEN_AFTER = 3
+
+#: Sampled windows the burn must recover within after a migration.
+RECOVERY_BUDGET_WINDOWS = 12
+
+
+def _shift_run(cache):
+    return run_autotune_redis(
+        mechanism="intel-mpk", mpk_gate="full", schedule=SHIFT_SCHEDULE,
+        slo_us=SLO_US, slo_objective=OBJECTIVE, seed=SEED, cache=cache,
+    )
+
+
+def _fault_run():
+    return run_autotune_redis(
+        mechanism="none", mpk_gate="full", schedule=FAULT_SCHEDULE,
+        slo_us=SLO_US, slo_objective=OBJECTIVE, seed=SEED,
+        fault_burst=FAULT_BURST, harden_after=HARDEN_AFTER,
+    )
+
+
+def _recovery(journal):
+    """(migration window, windows until the trigger went quiet)."""
+    migrated = journal.migrations
+    if not migrated:
+        return None, None
+    first = migrated[0]
+    for entry in journal.entries[first["step"] + 1:]:
+        if entry["reason"] == "no-trigger":
+            return first["window"], entry["window"] - first["window"]
+    return first["window"], None
+
+
+def _summarize(run):
+    summary = run.summary()
+    migrated_at, recovered_after = _recovery(run.journal)
+    summary["autotune"]["migrated_at_window"] = migrated_at
+    summary["autotune"]["recovered_after_windows"] = recovered_after
+    summary["autotune"]["floor"] = run.loop.policy.floor
+    return summary
+
+
+def _run_scenarios():
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = _shift_run(EvaluationCache(tmp))
+        warm = _shift_run(EvaluationCache(tmp))
+    faults = _fault_run()
+    for run in (cold, warm, faults):
+        run.journal.check()
+    # The warm rerun replays every ranking from the shared cache —
+    # identical journal bytes without a single fresh evaluation.
+    cold_journal = json.dumps(cold.journal.to_payload(), sort_keys=True)
+    warm_journal = json.dumps(warm.journal.to_payload(), sort_keys=True)
+    assert warm.loop.fresh_evaluations == 0, warm.loop.fresh_evaluations
+    assert warm.loop.cache_hits > 0
+    assert cold_journal == warm_journal
+    return {
+        "load_shift": _summarize(cold),
+        "fault_burst": _summarize(faults),
+        "warm_rerun": {
+            "fresh_evaluations": warm.loop.fresh_evaluations,
+            "cache_hits": warm.loop.cache_hits,
+            "journal_identical": cold_journal == warm_journal,
+        },
+    }
+
+
+def _render(results):
+    lines = ["Closed-loop autotuning — redis, SLO p99 < %.0fus @ %.2f, "
+             "seed %d" % (SLO_US, OBJECTIVE, SEED)]
+    for scenario in ("load_shift", "fault_burst"):
+        block = results[scenario]["autotune"]
+        lines.append("")
+        lines.append("-- %s --" % scenario)
+        for entry in block["journal"]["entries"]:
+            trigger = entry["trigger"] or {}
+            lines.append("  step %2d  window %4d  %-16s %-13s %s%s" % (
+                entry["step"], entry["window"], entry["policy"],
+                entry["reason"], entry["current"],
+                (" -> %s" % entry["chosen"]) if entry["chosen"]
+                else ("  [%s]" % trigger["kind"]) if trigger else ""))
+        lines.append("  migrations=%d final=%s migrated_at=%s "
+                     "recovered_after=%s windows" % (
+                         block["migrations"], block["final_layout"],
+                         block["migrated_at_window"],
+                         block["recovered_after_windows"]))
+    warm = results["warm_rerun"]
+    lines.append("")
+    lines.append("warm rerun: %d fresh evaluations, %d cache hits, "
+                 "journal %s" % (
+                     warm["fresh_evaluations"], warm["cache_hits"],
+                     "identical" if warm["journal_identical"]
+                     else "DIVERGED"))
+    return "\n".join(lines)
+
+
+def test_autotune_closed_loop(benchmark):
+    results = run_recorded(
+        benchmark, "autotune", _run_scenarios,
+        config={"app": "redis", "seed": SEED, "slo_us": SLO_US,
+                "objective": OBJECTIVE,
+                "shift_schedule": [list(p) for p in SHIFT_SCHEDULE],
+                "fault_schedule": [list(p) for p in FAULT_SCHEDULE],
+                "fault_burst": list(FAULT_BURST),
+                "harden_after": HARDEN_AFTER},
+        pedantic={"rounds": 1, "iterations": 1},
+    )
+    write_result("autotune", _render(results))
+
+    shift = results["load_shift"]["autotune"]
+    assert shift["migrations"] >= 1
+    assert shift["final_layout"] == "none/full"
+    migrated = [e for e in shift["journal"]["entries"]
+                if e["reason"] == "migrated"]
+    assert migrated[0]["trigger"]["kind"] == "slo-burn"
+    assert migrated[0]["ranking"], "migration must carry its ranking"
+    assert migrated[0]["migration"]["outcome"] == "committed"
+    # The SLO burn goes quiet within the recovery budget — while the
+    # spike phase is still offering load.
+    assert shift["recovered_after_windows"] is not None
+    assert shift["recovered_after_windows"] <= RECOVERY_BUDGET_WINDOWS
+
+    faults = results["fault_burst"]["autotune"]
+    hardened = [e for e in faults["journal"]["entries"]
+                if e["reason"] == "hardened"]
+    assert len(hardened) >= 1
+    assert hardened[0]["trigger"]["kind"] == "fault-pressure"
+    assert faults["final_layout"] == "intel-mpk/light"
+    assert results["fault_burst"]["autotune"]["floor"] >= 1
+    # After hardening the stricter layout still meets the SLO: every
+    # later sampled step either stayed quiet or ranked the hardened
+    # rung best.
+    after = faults["journal"]["entries"][hardened[0]["step"] + 1:]
+    assert after and all(e["reason"] in ("no-trigger", "already-best")
+                         for e in after)
+
+    assert results["warm_rerun"]["fresh_evaluations"] == 0
+    assert results["warm_rerun"]["journal_identical"]

@@ -28,7 +28,7 @@ def run_exploration():
 def _summarize(result):
     return {
         "summary": result.summary(),
-        "recommended": {name: result.measurements[name]
+        "recommended": {name: result.measurements[name].value
                         for name in result.recommended},
     }
 
@@ -50,7 +50,7 @@ def test_fig08_partial_safety_ordering(benchmark):
     }]
     detail = [
         {"starred configuration": name,
-         "kreq/s": "%.0f" % (result.measurements[name] / 1e3)}
+         "kreq/s": "%.0f" % (result.measurements[name].value / 1e3)}
         for name in result.recommended
     ]
     text = (
@@ -70,6 +70,6 @@ def test_fig08_partial_safety_ordering(benchmark):
     assert 1 <= len(result.recommended) <= 12
     assert result.evaluations < 80  # pruning really skipped work
     for name in result.recommended:
-        assert result.measurements[name] >= BUDGET
+        assert result.measurements[name].value >= BUDGET
     # The single fastest node is A/none, the least safe one.
     assert poset.minimal_elements() == ["A/none"]

@@ -67,7 +67,7 @@ def main():
         layout = result.poset.layouts[best]
         switch = "" if best == previous else "   <- rebuild + redeploy"
         print("%-6d %-12d %-24s %-10.0f %d comps, %d hardened%s"
-              % (hour, load, best, result.measurements[best],
+              % (hour, load, best, result.measurements[best].value,
                  layout.n_compartments,
                  len(layout.hardened_components()), switch))
         previous = best

@@ -42,13 +42,14 @@ def main():
         layout = result.poset.layouts[name]
         hardened = sorted(layout.hardened_components()) or ["none"]
         print("  %-22s %4.0f kreq/s   %d compartments, hardened: %s"
-              % (name, result.measurements[name] / 1e3,
+              % (name, result.measurements[name].value / 1e3,
                  layout.n_compartments, "+".join(hardened)))
 
     print("\nfor comparison, the unpruned extremes:")
-    fastest = max(result.measurements, key=result.measurements.get)
+    fastest = max(result.measurements,
+                  key=lambda name: result.measurements[name].value)
     print("  fastest: %-18s %4.0f kreq/s"
-          % (fastest, result.measurements[fastest] / 1e3))
+          % (fastest, result.measurements[fastest].value / 1e3))
 
 
 if __name__ == "__main__":

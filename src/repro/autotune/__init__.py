@@ -1,0 +1,50 @@
+"""Closed-loop isolation autotuning.
+
+FlexOS makes isolation a build-time knob; :mod:`repro.reconfig` made it
+a run-time one; this package closes the loop: a policy watches windowed
+telemetry (:meth:`~repro.obs.hub.TelemetryHub.evaluator_input`), prices
+the harden ladder's layouts with the exploration engine's ``live``
+evaluator, and migrates the running instance when the SLO burns or the
+gate bill dominates — with hysteresis and cooldown so it never
+thrashes, a safety floor so it never undoes fault-driven hardening, and
+a decision journal that makes every migration (and every deliberate
+non-migration) attributable.
+
+See ``docs/autotuning.md`` for the loop's anatomy and the journal
+schema.
+"""
+
+from repro.autotune.driver import (
+    DEFAULT_SCHEDULE,
+    AutotuneRun,
+    run_autotune_redis,
+)
+from repro.autotune.journal import (
+    ENTRY_KEYS,
+    KNOWN_REASONS,
+    MIGRATION_REASONS,
+    DecisionJournal,
+)
+from repro.autotune.loop import AutotuneLoop, signal_digest
+from repro.autotune.policy import (
+    AutotunePolicy,
+    Decision,
+    ladder_layouts,
+    rung_name,
+)
+
+__all__ = [
+    "AutotuneLoop",
+    "AutotunePolicy",
+    "AutotuneRun",
+    "Decision",
+    "DecisionJournal",
+    "DEFAULT_SCHEDULE",
+    "ENTRY_KEYS",
+    "KNOWN_REASONS",
+    "MIGRATION_REASONS",
+    "ladder_layouts",
+    "rung_name",
+    "run_autotune_redis",
+    "signal_digest",
+]

@@ -1,0 +1,127 @@
+"""The autotune decision journal: every step, attributable and checkable.
+
+The loop records one entry per sampled step — including steps that did
+*nothing*, because "the trigger fired but cooldown held" is exactly the
+evidence an SLO post-mortem needs.  Entries are plain data (stable key
+order under ``json.dumps(sort_keys=True)``), carry no wall-clock or
+cache-statistics noise, and therefore reproduce byte-identically on a
+warm rerun of the same seed: the ranking comes back from the evaluation
+cache, the journal comes back from determinism.
+
+:meth:`DecisionJournal.check` enforces the structural invariants the CI
+smoke job asserts — monotone steps, known reasons, trigger/migration
+consistency, and the big one: *no migration is ever issued inside a
+cooldown window*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: Every reason a journal entry may carry.
+KNOWN_REASONS = (
+    "no-signal",      # telemetry has no completed traffic yet
+    "no-trigger",     # thresholds quiet; nothing to do
+    "already-best",   # trigger fired, current rung ranked best
+    "hysteresis",     # best rung's edge under min_improvement
+    "cooldown",       # a migration was wanted but cooldown held it
+    "at-ladder-top",  # harden wanted, no stricter rung exists
+    "migrated",       # autotune migration issued (see ``migration``)
+    "hardened",       # fault-pressure migration issued
+)
+
+#: Reasons that mean "a migration was actually issued this step".
+MIGRATION_REASONS = ("migrated", "hardened")
+
+#: Reasons that carry no trigger (nothing fired).
+QUIET_REASONS = ("no-signal", "no-trigger")
+
+#: Keys every entry must have, in schema order.
+ENTRY_KEYS = ("step", "window", "policy", "reason", "current", "chosen",
+              "trigger", "ranking", "signal", "cooldown_until_window",
+              "migration")
+
+JOURNAL_SCHEMA = 1
+
+
+class DecisionJournal:
+    """Append-only record of autotune-loop decisions."""
+
+    def __init__(self):
+        self.entries = []
+
+    def __len__(self):
+        return len(self.entries)
+
+    def record(self, *, window, policy, reason, current, chosen=None,
+               trigger=None, ranking=(), signal=None,
+               cooldown_until_window=0, migration=None):
+        """Append one entry; the step index is assigned here."""
+        entry = {
+            "step": len(self.entries),
+            "window": int(window),
+            "policy": policy,
+            "reason": reason,
+            "current": current,
+            "chosen": chosen,
+            "trigger": trigger,
+            "ranking": [dict(row) for row in ranking],
+            "signal": dict(signal or {}),
+            "cooldown_until_window": int(cooldown_until_window),
+            "migration": dict(migration) if migration else None,
+        }
+        self.entries.append(entry)
+        return entry
+
+    @property
+    def migrations(self):
+        """Entries that issued a migration."""
+        return [e for e in self.entries if e["reason"] in MIGRATION_REASONS]
+
+    def check(self):
+        """Validate the journal's invariants; raises ReproError on breach."""
+        cooldown_until = 0
+        for index, entry in enumerate(self.entries):
+            where = "journal entry %d" % index
+            missing = [k for k in ENTRY_KEYS if k not in entry]
+            if missing:
+                raise ReproError(
+                    "%s missing keys: %s" % (where, ", ".join(missing)))
+            if entry["step"] != index:
+                raise ReproError(
+                    "%s has step %r, expected %d"
+                    % (where, entry["step"], index))
+            if index and entry["window"] < self.entries[index - 1]["window"]:
+                raise ReproError(
+                    "%s window %d precedes previous window %d"
+                    % (where, entry["window"],
+                       self.entries[index - 1]["window"]))
+            reason = entry["reason"]
+            if reason not in KNOWN_REASONS:
+                raise ReproError("%s has unknown reason %r" % (where, reason))
+            if (entry["trigger"] is None) != (reason in QUIET_REASONS):
+                raise ReproError(
+                    "%s: reason %r inconsistent with trigger %r"
+                    % (where, reason, entry["trigger"]))
+            issued = reason in MIGRATION_REASONS
+            if issued != (entry["migration"] is not None):
+                raise ReproError(
+                    "%s: reason %r inconsistent with migration %r"
+                    % (where, reason, entry["migration"]))
+            if issued:
+                if entry["window"] < cooldown_until:
+                    raise ReproError(
+                        "%s migrated at window %d inside cooldown "
+                        "(until %d)" % (where, entry["window"],
+                                        cooldown_until))
+                if entry["migration"].get("outcome") == "committed":
+                    cooldown_until = entry["cooldown_until_window"]
+            if reason == "migrated" and not entry["ranking"]:
+                raise ReproError(
+                    "%s migrated without a candidate ranking" % where)
+        return True
+
+    def to_payload(self):
+        """Plain-data dump (the journal half of BENCH_autotune.json)."""
+        return {"schema": JOURNAL_SCHEMA,
+                "entries": [dict(e) for e in self.entries]}

@@ -80,6 +80,31 @@ def poisson_offsets_cycles(rate_rps, n, seed, clock):
     return offsets
 
 
+def schedule_offsets_cycles(schedule, seed, clock):
+    """Arrival offsets for piecewise-constant Poisson phases.
+
+    ``schedule`` is a sequence of ``(rate_rps, n_requests)`` phases.
+    One seeded rng draws every gap and time accumulates across phases,
+    so a load *shift* is a rate change mid-stream of one arrival
+    process — exactly the signal the autotuner reacts to — not a fresh
+    schedule restarted at zero.
+    """
+    rng = random.Random(seed)
+    offsets = []
+    t = 0.0
+    for rate_rps, n in schedule:
+        if rate_rps <= 0:
+            raise ReproError(
+                "arrival rate must be positive: %r" % rate_rps)
+        if n < 1:
+            raise ReproError(
+                "each schedule phase needs >= 1 request: %r" % n)
+        for _ in range(n):
+            t += rng.expovariate(rate_rps)
+            offsets.append(t * clock.freq_hz)
+    return offsets
+
+
 def _percentile(sorted_values, p):
     """Nearest-rank percentile of an ascending list (p in [0, 100])."""
     if not sorted_values:
@@ -94,7 +119,7 @@ class LoadResult:
     def __init__(self, app, mechanism, mode, offered_rps, n_requests,
                  completed, latencies_cycles, first_cycles, last_cycles,
                  reply_bytes, clock, cores, core_stats, switches,
-                 tracer=None):
+                 tracer=None, schedule=None):
         self.app = app
         self.mechanism = mechanism
         self.mode = mode                    # "open" | "closed"
@@ -111,6 +136,7 @@ class LoadResult:
         self.core_stats = core_stats        # [] under the serial sched
         self.switches = switches
         self.tracer = tracer
+        self.schedule = schedule            # [(rate_rps, n), ...] | None
 
     # -- derived --------------------------------------------------------------
     @property
@@ -137,7 +163,7 @@ class LoadResult:
 
     def summary(self):
         """JSON-serialisable summary (virtual-clock values only)."""
-        return {
+        summary = {
             "app": self.app,
             "mechanism": self.mechanism,
             "mode": self.mode,
@@ -155,6 +181,11 @@ class LoadResult:
             "core_stats": self.core_stats,
             "switches": self.switches,
         }
+        if self.schedule is not None:
+            # Only scheduled runs carry the key, so single-rate runs
+            # keep their committed baseline bytes.
+            summary["schedule"] = [list(phase) for phase in self.schedule]
+        return summary
 
     def __repr__(self):
         rate = ("%.0f rps" % self.offered_rps
@@ -165,12 +196,13 @@ class LoadResult:
         )
 
 
-def _boot_with_net(mechanism, isolate, mpk_gate, cores):
+def _boot_with_net(mechanism, isolate, mpk_gate, cores, config=None):
     costs = CostModel.xeon_4114()
     machine = Machine(costs)
     link = LinkedDevices(costs)
     instance = FlexOSInstance(
-        build_image(config_for(mechanism, isolate, mpk_gate)),
+        build_image(config if config is not None
+                    else config_for(mechanism, isolate, mpk_gate)),
         machine=machine, net_device=link.a, cores=cores,
     ).boot()
     host = HostEndpoint(link.b, "10.0.0.1", costs, machine.clock)
@@ -207,7 +239,8 @@ def _split(n, buckets):
 
 
 def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
-                  connections, mpk_gate, trace, tracer, hub):
+                  connections, mpk_gate, trace, tracer, hub,
+                  config=None, schedule=None, background=()):
     """Open- or closed-loop load against a TCP app (redis or nginx)."""
     if app == "redis":
         port = 6379
@@ -224,7 +257,7 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
         served_of = lambda server: server.requests  # noqa: E731
 
     instance, host, machine = _boot_with_net(
-        mechanism, LOAD_ISOLATE[app], mpk_gate, cores,
+        mechanism, LOAD_ISOLATE[app], mpk_gate, cores, config=config,
     )
     clock = machine.clock
     sched = instance.sched
@@ -355,7 +388,7 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                 return done
             return body
 
-        if rate_rps is None:
+        if rate_rps is None and schedule is None:
             mode = "closed"
             for index in range(connections):
                 sched.create_thread("load-conn-%d" % index,
@@ -370,15 +403,31 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
                         socks[index], instance.ip, port,
                     )
                 window["first"] = clock.cycles
-                offsets = poisson_offsets_cycles(
-                    rate_rps, n_requests, seed, clock,
-                )
+                if schedule is not None:
+                    offsets = schedule_offsets_cycles(schedule, seed,
+                                                      clock)
+                else:
+                    offsets = poisson_offsets_cycles(
+                        rate_rps, n_requests, seed, clock,
+                    )
                 sched.create_thread("loadgen", loadgen(offsets))
                 for index in range(connections):
                     sched.create_thread("reap-%d" % index, reaper(index))
                 return connections
 
             sched.create_thread("load-setup", setup)
+        for name, factory in background:
+            # Background bodies run alongside the load (the autotuner's
+            # policy loop, a fault-burst arm): they must self-terminate,
+            # typically by polling ``served()`` up to ``n_requests``.
+            sched.create_thread(name, factory({
+                "instance": instance,
+                "host": host,
+                "clock": clock,
+                "sched": sched,
+                "served": lambda: served_of(server),
+                "n_requests": n_requests,
+            }))
         sched.run()
     if served_of(server) != n_requests:
         raise ReproError(
@@ -389,19 +438,22 @@ def _run_tcp_load(app, mechanism, *, rate_rps, n_requests, seed, cores,
         app, mechanism, mode, rate_rps, n_requests, len(latencies),
         latencies, window["first"], window["last"], reply_bytes[0],
         clock, cores, _core_stats(sched), sched.switches, tracer,
+        schedule=schedule,
     )
 
 
 def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
-                     connections, mpk_gate, trace, tracer, hub):
+                     connections, mpk_gate, trace, tracer, hub,
+                     config=None, schedule=None, background=()):
     """Load against SQLite: a worker pool draining an arrival queue.
 
     ``connections`` is the worker-pool width here (there is no network);
     each INSERT commits its own journalled transaction.
     """
     instance = FlexOSInstance(
-        build_image(config_for(mechanism, LOAD_ISOLATE["sqlite"],
-                               mpk_gate)),
+        build_image(config if config is not None
+                    else config_for(mechanism, LOAD_ISOLATE["sqlite"],
+                                    mpk_gate)),
         machine=Machine(), cores=cores,
     ).boot()
     clock = instance.clock
@@ -452,6 +504,21 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
         def producer():
             start = clock.cycles
             window["first"] = start
+            if schedule is not None:
+                offsets = schedule_offsets_cycles(schedule, seed, clock)
+                for row, offset in enumerate(offsets):
+                    due = start + offset
+                    now = clock.cycles
+                    if due > now:
+                        yield sleep(clock.cycles_to_ns(due - now))
+                    queue.append((row, due))
+                    if spans is not None:
+                        spans.inject("sqlite", name="insert-%d" % row,
+                                     arrival_cycles=due)
+                    sched.wake(waitq)
+                state["done"] = True
+                sched.wake_all(waitq)
+                return n_requests
             if rate_rps is None:
                 # Saturation: enqueue everything at once; the pool runs
                 # back to back and the queue depth is the backlog.
@@ -483,23 +550,34 @@ def _run_sqlite_load(mechanism, *, rate_rps, n_requests, seed, cores,
         sched.create_thread("load-producer", producer)
         for index in range(workers):
             sched.create_thread("db-worker-%d" % index, worker(index))
+        for name, factory in background:
+            sched.create_thread(name, factory({
+                "instance": instance,
+                "host": None,
+                "clock": clock,
+                "sched": sched,
+                "served": lambda: len(latencies),
+                "n_requests": n_requests,
+            }))
         sched.run()
     if len(latencies) != n_requests:
         raise ReproError(
             "sqlite committed %d of %d inserts under load"
             % (len(latencies), n_requests)
         )
-    mode = "closed" if rate_rps is None else "open"
+    mode = "closed" if rate_rps is None and schedule is None else "open"
     return LoadResult(
         "sqlite", mechanism, mode, rate_rps, n_requests, len(latencies),
         latencies, window["first"], window["last"], 0,
         clock, cores, _core_stats(sched), sched.switches, tracer,
+        schedule=schedule,
     )
 
 
 def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
              cores=2, connections=4, mpk_gate="full", trace=False,
-             tracer=None, hub=None):
+             tracer=None, hub=None, config=None, schedule=None,
+             background=()):
     """Run one load point; returns a :class:`LoadResult`.
 
     Args:
@@ -521,6 +599,19 @@ def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
             exemplars.  The hub's clock is bound to the instance clock
             at boot; read it back through ``hub.snapshot()`` /
             ``hub.tail_report()`` after the run.
+        config: a full :class:`~repro.core.config.SafetyConfig` to boot
+            instead of the ``config_for(mechanism, ...)`` default — the
+            autotuner passes :func:`~repro.reconfig.driver
+            .reconfig_config` layouts here so the booted instance is
+            live-migratable.
+        schedule: ``[(rate_rps, n_requests), ...]`` piecewise Poisson
+            phases (one continuous arrival process with rate shifts);
+            mutually exclusive with ``rate_rps``, and ``n_requests`` is
+            then the sum of the phase counts.
+        background: ``(name, factory)`` pairs; each ``factory(ctx)`` is
+            called with a dict (``instance``, ``host``, ``clock``,
+            ``sched``, ``served``, ``n_requests``) and must return a
+            self-terminating thread body, scheduled alongside the load.
     """
     if app not in LOAD_APPS:
         raise ReproError(
@@ -528,9 +619,16 @@ def run_load(app, mechanism, rate_rps=None, n_requests=96, seed=1,
         )
     if connections < 1:
         raise ReproError("need at least one connection")
+    if schedule is not None:
+        if rate_rps is not None:
+            raise ReproError(
+                "pass either rate_rps or schedule, not both")
+        schedule = [(float(rate), int(n)) for rate, n in schedule]
+        n_requests = sum(n for _, n in schedule)
     kwargs = dict(rate_rps=rate_rps, n_requests=n_requests, seed=seed,
                   cores=cores, connections=connections, mpk_gate=mpk_gate,
-                  trace=trace, tracer=tracer, hub=hub)
+                  trace=trace, tracer=tracer, hub=hub, config=config,
+                  schedule=schedule, background=background)
     if app == "sqlite":
         return _run_sqlite_load(mechanism, **kwargs)
     return _run_tcp_load(app, mechanism, **kwargs)

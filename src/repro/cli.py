@@ -189,6 +189,7 @@ def cmd_explore_run(args, out):
     result = explore(ExplorationRequest(
         layouts=layouts, evaluator=evaluator, budget=args.budget,
         jobs=args.jobs, cache=cache,
+        objective=getattr(args, "objective", None),
     ))
     if args.dot:
         from repro.explore.visualize import exploration_to_dot
@@ -212,9 +213,10 @@ def cmd_explore_run(args, out):
                      "(hit rate %.0f%%) under %s"
                      % (stats["cache_hits"], stats["fresh_evaluations"],
                         100.0 * stats["hit_rate"], cache_dir))
+    unit = {"throughput": "req/s"}.get(result.objective, result.objective)
     rows = [
         {"starred": name,
-         "req/s": "%.0f" % result.measurements[name]}
+         unit: "%.0f" % result.measurements[name].value}
         for name in result.recommended
     ]
     lines.append(format_table(rows) if rows
@@ -222,7 +224,7 @@ def cmd_explore_run(args, out):
     payload = {
         "summary": summary,
         "engine": stats,
-        "recommended": {name: result.measurements[name]
+        "recommended": {name: result.measurements[name].value
                         for name in result.recommended},
     }
     return emit(args, out, "\n".join(lines), payload)
@@ -473,6 +475,66 @@ def cmd_load(args, out):
     return emit(args, out, text, payload=summary, label="load report")
 
 
+def parse_schedule(text):
+    """``"rate:n,rate:n"`` → ``[(rate_rps, n_requests), ...]``."""
+    phases = []
+    for phase in text.split(","):
+        rate, _, count = phase.partition(":")
+        try:
+            phases.append((float(rate), int(count)))
+        except ValueError:
+            raise ReproError(
+                "bad schedule phase %r (want RATE:COUNT)" % phase
+            ) from None
+    return phases
+
+
+def cmd_autotune_run(args, out):
+    """Close the loop: serve a redis load schedule with the autotuner
+    sampling live telemetry and migrating the isolation layout when the
+    SLO burns or fault pressure mounts.  Exit 0 when the decision
+    journal validates; the journal itself rides in the JSON payload."""
+    from repro.autotune import run_autotune_redis
+    from repro.explore.cache import EvaluationCache
+
+    fault_burst = None
+    if args.fault_at is not None:
+        fault_burst = (args.fault_at, args.faults)
+    run = run_autotune_redis(
+        mechanism=args.mechanism, mpk_gate=args.mpk_gate,
+        schedule=parse_schedule(args.schedule), slo_us=args.slo_us,
+        slo_objective=args.objective, seed=args.seed,
+        connections=args.connections, window_cycles=args.window_cycles,
+        every_windows=args.every_windows,
+        cooldown_windows=args.cooldown_windows,
+        burn_threshold=args.burn_threshold,
+        gate_share_threshold=args.gate_share_threshold,
+        min_improvement=args.min_improvement, fault_burst=fault_burst,
+        harden_after=args.harden_after,
+        cache=EvaluationCache(args.cache) if args.cache else None,
+    )
+    run.journal.check()
+    summary = run.summary()
+    lines = ["== autotune: %s/%s, %d requests, SLO p99<%.1fus ==" % (
+        args.mechanism, args.mpk_gate, summary["load"]["requests"],
+        args.slo_us)]
+    for entry in run.journal.entries:
+        trigger = entry["trigger"] or {}
+        lines.append(
+            "  step %2d  window %4d  %-14s %-13s %s%s" % (
+                entry["step"], entry["window"], entry["policy"],
+                entry["reason"],
+                entry["current"],
+                (" -> %s" % entry["chosen"]) if entry["chosen"] else
+                ("  [%s]" % trigger["kind"]) if trigger else "",
+            ))
+    lines.append("steps=%d migrations=%d final=%s p99=%.2fus" % (
+        run.loop.steps, run.loop.migrations, run.final_layout(),
+        summary["load"]["p99_us"]))
+    return emit(args, out, "\n".join(lines), payload=summary,
+                label="autotune report")
+
+
 def cmd_obs_report(args, out):
     """Traced functional run -> critical path + crossing matrix report."""
     from repro.obs import analyze
@@ -678,6 +740,11 @@ def build_parser():
                         choices=("profile", "synthetic"),
                         help="profile: price the app's request profile; "
                              "synthetic: seeded engine smoke evaluator")
+    from repro.explore.measurement import OBJECTIVES
+
+    p_erun.add_argument("--objective", default=None, choices=OBJECTIVES,
+                        help="ranking objective (default: the evaluator's "
+                             "own, usually throughput)")
     p_erun.add_argument("--dot", metavar="FILE", default=None,
                         help="write the labelled poset as Graphviz DOT")
     p_erun.add_argument("--stats-out", metavar="FILE", default=None,
@@ -831,6 +898,61 @@ def build_parser():
     add_seed_option(p_load)
     add_output_options(p_load)
     p_load.set_defaults(func=cmd_load)
+
+    p_autotune = sub.add_parser(
+        "autotune", help="closed-loop isolation autotuning under live "
+                         "load",
+    )
+    autotune_sub = p_autotune.add_subparsers(dest="autotune_command",
+                                             required=True)
+    p_arun = autotune_sub.add_parser(
+        "run", help="serve a redis load schedule with the autotune loop "
+                    "migrating the layout from windowed telemetry",
+    )
+    p_arun.add_argument("--mechanism", default="intel-mpk",
+                        choices=("none", "intel-mpk", "vm-ept"),
+                        help="boot rung's isolation mechanism")
+    p_arun.add_argument("--mpk-gate", default="full",
+                        choices=("full", "light"))
+    p_arun.add_argument("--schedule",
+                        default="120000:150,190000:300,120000:150",
+                        metavar="RATE:N,...",
+                        help="piecewise Poisson phases (default: "
+                             "%(default)s)")
+    p_arun.add_argument("--slo-us", type=float, default=12.0, metavar="US",
+                        help="p99 latency SLO in virtual microseconds")
+    p_arun.add_argument("--objective", type=float, default=0.95,
+                        help="fraction of requests that must meet the SLO")
+    p_arun.add_argument("--window-cycles", type=float, default=100_000.0,
+                        help="telemetry window width in virtual cycles")
+    p_arun.add_argument("--every-windows", type=int, default=4,
+                        help="sample the hub every N windows")
+    p_arun.add_argument("--cooldown-windows", type=int, default=8,
+                        help="windows to hold after a committed migration")
+    p_arun.add_argument("--burn-threshold", type=float, default=1.0,
+                        help="recent-window SLO burn that triggers "
+                             "re-exploration")
+    p_arun.add_argument("--gate-share-threshold", type=float, default=0.6,
+                        help="gate share of total latency that triggers "
+                             "re-exploration")
+    p_arun.add_argument("--min-improvement", type=float, default=0.02,
+                        help="hysteresis: predicted objective edge a "
+                             "migration must clear")
+    p_arun.add_argument("--fault-at", type=int, default=None, metavar="N",
+                        help="inject a contained-fault burst once N "
+                             "requests completed")
+    p_arun.add_argument("--faults", type=int, default=4,
+                        help="faults in the burst (with --fault-at)")
+    p_arun.add_argument("--harden-after", type=int, default=3,
+                        help="supervisor HardenPolicy trip count")
+    p_arun.add_argument("--connections", type=int, default=4,
+                        help="client connections")
+    p_arun.add_argument("--cache", default=None, metavar="DIR",
+                        help="evaluation cache directory (warm reruns "
+                             "replay rankings without re-evaluating)")
+    add_seed_option(p_arun)
+    add_output_options(p_arun)
+    p_arun.set_defaults(func=cmd_autotune_run)
 
     p_obs = sub.add_parser(
         "obs", help="trace analytics and the perf-regression gate",

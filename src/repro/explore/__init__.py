@@ -31,6 +31,7 @@ from repro.explore.configspace import (
 from repro.explore.evaluators import (
     CallableEvaluator,
     Evaluator,
+    LiveEvaluator,
     ProfileEvaluator,
     SyntheticEvaluator,
     get_evaluator,
@@ -41,6 +42,11 @@ from repro.explore.explorer import (
     ExplorationResult,
     explore,
     explore_serial,
+)
+from repro.explore.measurement import (
+    OBJECTIVES,
+    Measurement,
+    as_measurement,
 )
 from repro.explore.parallel import antichain_waves, run_exploration
 from repro.explore.poset import ConfigPoset
@@ -54,9 +60,13 @@ __all__ = [
     "ExplorationRequest",
     "ExplorationResult",
     "FIG6_STRATEGIES",
+    "LiveEvaluator",
+    "Measurement",
+    "OBJECTIVES",
     "ProfileEvaluator",
     "SyntheticEvaluator",
     "antichain_waves",
+    "as_measurement",
     "evaluation_key",
     "explore",
     "explore_serial",

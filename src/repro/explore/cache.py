@@ -29,6 +29,7 @@ import os
 import tempfile
 
 from repro.errors import ExplorationError
+from repro.explore.measurement import Measurement
 from repro.obs.regress import config_digest
 
 #: Conventional cache location used by the CLI and the CI smoke step.
@@ -91,7 +92,12 @@ class EvaluationCache:
         return os.path.join(self.directory, "%s.json" % key)
 
     def get(self, key):
-        """The cached value for ``key``, or ``None`` on a miss."""
+        """The cached :class:`Measurement` for ``key``, or ``None``.
+
+        Entries written before the Measurement API carry only a bare
+        numeric value; they deserialise as ``throughput`` measurements
+        with empty metadata.
+        """
         try:
             with open(self._path(key)) as handle:
                 entry = json.load(handle)
@@ -105,12 +111,21 @@ class EvaluationCache:
                 % (self._path(key), value)
             )
         self.hits += 1
-        return value
+        return Measurement(float(value),
+                           entry.get("objective", "throughput"),
+                           dict(entry.get("meta") or ()))
 
     def put(self, key, value, layout=None, evaluator=None):
-        """Store ``value`` under ``key`` (atomic; last writer wins)."""
+        """Store a measurement under ``key`` (atomic; last writer wins).
+
+        ``value`` may be a :class:`Measurement` or (for legacy callers)
+        a bare number, stored as a ``throughput`` measurement.
+        """
+        if not isinstance(value, Measurement):
+            value = Measurement(value)
         os.makedirs(self.directory, exist_ok=True)
-        entry = {"value": value}
+        entry = {"value": value.value, "objective": value.objective,
+                 "meta": value.meta}
         if layout is not None:
             entry["layout"] = layout.name
             entry["content"] = layout_payload(layout)

@@ -33,6 +33,7 @@ from typing import Any, Sequence
 from repro.errors import ExplorationError
 from repro.explore.cache import resolve_cache
 from repro.explore.evaluators import CallableEvaluator, resolve_evaluator
+from repro.explore.measurement import OBJECTIVES, as_measurement
 from repro.explore.poset import ConfigPoset
 
 
@@ -46,7 +47,10 @@ class ExplorationRequest:
         evaluator: an :class:`~repro.explore.evaluators.Evaluator`
             instance, a registry name (e.g. ``"profile"``), or a legacy
             callable (wrapped; serial-only, uncacheable).
-        budget: minimum acceptable performance.
+        budget: minimum acceptable performance (in the objective's
+            unit — requests/s for ``throughput``, negated virtual
+            microseconds for ``tail_at_rate``, headroom for
+            ``slo_headroom``).
         assume_monotonic: enable monotone path pruning (disable to
             verify the assumption — the ablation benchmark does).
         jobs: worker processes; ``1`` evaluates inline, ``> 1`` fans
@@ -54,6 +58,10 @@ class ExplorationRequest:
             must then be ``parallel_safe``).
         cache: an :class:`~repro.explore.cache.EvaluationCache`, a cache
             directory path, or ``None`` to re-measure everything.
+        objective: one of :data:`~repro.explore.measurement.OBJECTIVES`
+            to rank layouts under, or ``None`` to keep the evaluator's
+            own objective.  The evaluator must support it
+            (:meth:`~repro.explore.evaluators.Evaluator.for_objective`).
     """
 
     layouts: Sequence[Any]
@@ -62,6 +70,7 @@ class ExplorationRequest:
     assume_monotonic: bool = True
     jobs: int = 1
     cache: Any = None
+    objective: Any = None
 
     def resolved(self):
         """(layouts, evaluator, cache) with specs coerced and validated."""
@@ -69,6 +78,13 @@ class ExplorationRequest:
         if not layouts:
             raise ExplorationError("nothing to explore")
         evaluator = resolve_evaluator(self.evaluator)
+        if self.objective is not None:
+            if self.objective not in OBJECTIVES:
+                raise ExplorationError(
+                    "unknown objective %r (one of: %s)"
+                    % (self.objective, ", ".join(OBJECTIVES))
+                )
+            evaluator = evaluator.for_objective(self.objective)
         cache = resolve_cache(self.cache)
         if int(self.jobs) < 1:
             raise ExplorationError("jobs must be >= 1, got %r" % self.jobs)
@@ -89,10 +105,13 @@ class ExplorationRequest:
 class ExplorationResult:
     """Outcome of one exploration run."""
 
-    def __init__(self, poset, budget):
+    def __init__(self, poset, budget, objective="throughput"):
         self.poset = poset
         self.budget = budget
-        #: name -> measured performance (higher is better).
+        #: The objective measurements were ranked under.
+        self.objective = objective
+        #: name -> :class:`~repro.explore.measurement.Measurement`
+        #: (higher ``.value`` is better).
         self.measurements = {}
         #: Configurations skipped thanks to monotone pruning.
         self.pruned = set()
@@ -120,6 +139,7 @@ class ExplorationResult:
             "passing": len(self.passing),
             "recommended": sorted(self.recommended),
             "budget": self.budget,
+            "objective": self.objective,
         }
 
     def engine_stats(self):
@@ -175,7 +195,7 @@ def explore_serial(request):
     """
     layouts, evaluator, _ = request.resolved()  # reference: never cached
     poset = ConfigPoset(layouts)
-    result = ExplorationResult(poset, request.budget)
+    result = ExplorationResult(poset, request.budget, evaluator.objective)
     failed = set()
 
     for name in poset.topological_order():
@@ -186,12 +206,14 @@ def explore_serial(request):
             failed.add(name)
             continue
         try:
-            performance = evaluator(poset.layouts[name])
+            performance = as_measurement(
+                evaluator(poset.layouts[name]), evaluator,
+            )
         except Exception as exc:
             raise _evaluator_error(result, name, evaluator, exc) from exc
         result.fresh_evaluations += 1
         result.measurements[name] = performance
-        if performance >= request.budget:
+        if performance.value >= request.budget:
             result.passing.add(name)
         else:
             failed.add(name)

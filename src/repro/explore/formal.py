@@ -71,7 +71,7 @@ def certify(result):
         if name not in measured:
             certificate.fail("soundness", "%s recommended unmeasured" % name)
             ok = False
-        elif result.measurements[name] < result.budget:
+        elif float(result.measurements[name]) < result.budget:
             certificate.fail("soundness", "%s misses the budget" % name)
             ok = False
     certificate.verified["soundness"] = ok
@@ -105,7 +105,7 @@ def certify(result):
     ok = True
     failed = {
         name for name in measured
-        if result.measurements[name] < result.budget
+        if float(result.measurements[name]) < result.budget
     }
     for name in result.pruned:
         below = poset.less_safe_than(name)

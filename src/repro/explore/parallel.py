@@ -26,7 +26,7 @@ it per run from first principles.
 
 Only the parent process touches the cache; workers receive (evaluator,
 layout) pairs — both picklable by the evaluator-registry contract — and
-return numbers.
+return :class:`~repro.explore.measurement.Measurement` payloads.
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ from repro.explore.explorer import (
     _evaluator_error,
     _finalize,
 )
+from repro.explore.measurement import as_measurement
 from repro.explore.poset import ConfigPoset
 from repro.obs.tracer import get_tracer
 
@@ -81,13 +82,18 @@ def _pool_evaluate(task):
 
 
 def _evaluate_wave(names, poset, evaluator, pool):
-    """Measure ``names``; returns ({name: value}, first failure or None)."""
+    """Measure ``names``; returns ({name: Measurement}, first failure
+    or None).  Coercion to :class:`Measurement` happens parent-side
+    even for pool results, so the bare-float deprecation shim warns in
+    the caller's process."""
     values = {}
     failure = None
     if pool is None:
         for name in names:
             try:
-                values[name] = evaluator(poset.layouts[name])
+                values[name] = as_measurement(
+                    evaluator(poset.layouts[name]), evaluator,
+                )
             except Exception as exc:  # noqa: BLE001 - partial kept
                 failure = (name, exc)
                 break
@@ -95,10 +101,15 @@ def _evaluate_wave(names, poset, evaluator, pool):
         tasks = [(evaluator, poset.layouts[name]) for name in names]
         for name, (ok, payload) in zip(names,
                                        pool.map(_pool_evaluate, tasks)):
-            if ok:
-                values[name] = payload
-            elif failure is None:
-                failure = (name, ExplorationError(payload))
+            if not ok:
+                if failure is None:
+                    failure = (name, ExplorationError(payload))
+                continue
+            try:
+                values[name] = as_measurement(payload, evaluator)
+            except Exception as exc:  # noqa: BLE001 - partial kept
+                if failure is None:
+                    failure = (name, exc)
     return values, failure
 
 
@@ -111,7 +122,7 @@ def run_exploration(request):
         )
     layouts, evaluator, cache = request.resolved()
     poset = ConfigPoset(layouts)
-    result = ExplorationResult(poset, request.budget)
+    result = ExplorationResult(poset, request.budget, evaluator.objective)
     failed = set()
     tracer = get_tracer()
     jobs = int(request.jobs)
@@ -160,7 +171,7 @@ def run_exploration(request):
                     continue  # lost to a mid-wave evaluator failure
                 performance = labelled[name]
                 result.measurements[name] = performance
-                if performance >= request.budget:
+                if performance.value >= request.budget:
                     result.passing.add(name)
                 else:
                     failed.add(name)

@@ -60,7 +60,8 @@ def exploration_to_dot(result, title=None):
     """DOT for an :class:`~repro.explore.explorer.ExplorationResult`."""
     return poset_to_dot(
         result.poset,
-        measurements=result.measurements,
+        measurements={name: float(value)
+                      for name, value in result.measurements.items()},
         starred=result.recommended,
         title=title or ("FlexOS configurations (budget %.0f)"
                         % result.budget),

@@ -46,7 +46,7 @@ class TelemetryHub:
     def __init__(self, window_cycles=DEFAULT_WINDOW_CYCLES,
                  ring=DEFAULT_RING, slo_targets=(),
                  slow_threshold_cycles=None, sampler_capacity=16,
-                 clock=None):
+                 clock=None, slo_window_cycles=None):
         self.clock = clock
         self.timeseries = WindowedTelemetry(
             clock=clock, window_cycles=window_cycles, ring=ring,
@@ -54,7 +54,12 @@ class TelemetryHub:
         self.metrics = MetricsRegistry(timeseries=self.timeseries)
         self.spans = SpanTracker(clock=clock)
         self.spans.on_complete = self._on_span_complete
-        self.slos = [SloEvaluator(target, window_cycles=window_cycles)
+        # SLO windows may be wider or narrower than telemetry windows
+        # (and need not divide evenly): evaluator_input() maps between
+        # the two by cycle range, not by index arithmetic.
+        self.slos = [SloEvaluator(target,
+                                  window_cycles=(slo_window_cycles
+                                                 or window_cycles))
                      for target in slo_targets]
         if slow_threshold_cycles is None and self.slos:
             # Default the exemplar threshold to the tightest SLO: the
@@ -88,6 +93,8 @@ class TelemetryHub:
         telemetry.bump("requests.completed", 1.0, ts=ts)
         telemetry.bump("requests.queue_cycles", span.queue_cycles, ts=ts)
         telemetry.bump("requests.gate_cycles", span.gate_cycles, ts=ts)
+        telemetry.bump("requests.gate_crossings",
+                       float(span.gate_crossings), ts=ts)
         telemetry.bump("requests.app_cycles", span.app_cycles, ts=ts)
         telemetry.observe("request.latency_cycles", span.latency_cycles,
                           ts=ts)
@@ -137,15 +144,18 @@ class TelemetryHub:
                     "requests.queue_cycles", 0.0),
                 "gate_cycles": window.counters.get(
                     "requests.gate_cycles", 0.0),
+                "gate_crossings": window.counters.get(
+                    "requests.gate_crossings", 0.0),
                 "app_cycles": window.counters.get(
                     "requests.app_cycles", 0.0),
                 "latency_max_cycles": stats[3] if stats else 0.0,
                 "latency_mean_cycles": (stats[1] / stats[0]
                                         if stats else 0.0),
                 "burn": {
-                    evaluator.target.name: evaluator.burn_rate(
-                        int(window.index * self.timeseries.window_cycles
-                            // evaluator.window_cycles))
+                    evaluator.target.name: evaluator.burn_over(
+                        window.index * self.timeseries.window_cycles,
+                        (window.index + 1) * self.timeseries.window_cycles,
+                    )
                     for evaluator in self.slos
                 },
             }
@@ -158,6 +168,7 @@ class TelemetryHub:
                 evaluator.target.name: {
                     "overall_burn": evaluator.overall_burn,
                     "met": evaluator.met,
+                    "target": evaluator.target.to_dict(),
                 }
                 for evaluator in self.slos
             },

@@ -26,17 +26,33 @@ from repro.reconfig.plan import (
     ReconfigStep,
     ReconfigurationPlan,
 )
+from repro.reconfig.policy import (
+    RECONFIG_POLICIES,
+    HardenOnFaultPolicy,
+    PolicyState,
+    Proposal,
+    ReconfigurationPolicy,
+    get_reconfig_policy,
+    register_reconfig_policy,
+)
 
 __all__ = [
     "DEFAULT_DRAIN_TIMEOUT_CYCLES",
     "HARDEN_LADDER",
+    "HardenOnFaultPolicy",
     "MIGRATABLE_MECHANISMS",
     "MigrationReport",
     "PHASES",
+    "PolicyState",
+    "Proposal",
+    "RECONFIG_POLICIES",
     "ReconfigStep",
     "ReconfigurationEngine",
     "ReconfigurationPlan",
+    "ReconfigurationPolicy",
+    "get_reconfig_policy",
     "harden_target",
     "injection_points",
     "layout_fingerprint",
+    "register_reconfig_policy",
 ]

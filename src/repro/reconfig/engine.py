@@ -31,7 +31,7 @@ tests use to check that invariant.
 from __future__ import annotations
 
 from repro.core.backends import get_backend
-from repro.errors import MigrationFault, ReproError
+from repro.errors import MigrationFault, ReconfigError, ReproError
 from repro.hw.ept import AddressSpace, SharedWindow
 from repro.hw.memory import Perm
 from repro.hw.mpk import PKRU
@@ -212,10 +212,20 @@ class ReconfigurationEngine:
         self.instance = instance
         self.drain_timeout_cycles = drain_timeout_cycles
         self.reports = []
+        #: Callables invoked with every finished MigrationReport
+        #: (committed or rolled back) — the autotuner journals through
+        #: this instead of polling ``reports``.
+        self._report_hooks = []
         #: ``id()`` of regions created by a PREPARE that was rolled
         #: back — physical memory has no free(), so they stay behind,
         #: unmapped and unkeyed to anything reachable.
         self.abandoned_regions = set()
+
+    def add_report_hook(self, hook):
+        """Call ``hook(report)`` after every migration attempt."""
+        if not callable(hook):
+            raise ReconfigError("report hook %r is not callable" % (hook,))
+        self._report_hooks.append(hook)
 
     # -- checkpoints ---------------------------------------------------
 
@@ -433,4 +443,6 @@ class ReconfigurationEngine:
                 queued_requests=queued,
             )
         self.reports.append(report)
+        for hook in self._report_hooks:
+            hook(report)
         return report

@@ -1,0 +1,136 @@
+"""Reconfiguration policies: one protocol for "what layout next, and why".
+
+The repo grew two independent deciders of live-layout changes: the
+supervisor's harden-on-fault counter (:class:`~repro.faults.supervisor
+.HardenPolicy`, which only *queues* work) and the autotuner's
+telemetry-driven loop (:mod:`repro.autotune`).  This module gives them
+one shape:
+
+* a :class:`ReconfigurationPolicy` looks at a :class:`PolicyState`
+  (instance + engine + whatever live signal the caller has) and either
+  returns a :class:`Proposal` — a concrete migration target plus the
+  machine-readable *trigger* that justified it — or ``None`` for
+  "nothing to do";
+* the caller (a driver loop, the autotuner) owns pacing, cooldown and
+  the actual :meth:`~repro.reconfig.engine.ReconfigurationEngine
+  .migrate` call, so a policy can never thrash the engine by itself.
+
+A proposal may carry ``target=None``: the trigger genuinely fired but
+no admissible layout exists (e.g. already at the top of the harden
+ladder).  Callers journal these instead of migrating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.reconfig.harden import harden_target
+
+#: Registered policy classes, keyed by :attr:`ReconfigurationPolicy.name`.
+RECONFIG_POLICIES = {}
+
+
+def register_reconfig_policy(cls):
+    """Class decorator: add ``cls`` to the policy registry."""
+    if not cls.name:
+        raise ConfigError("reconfiguration policy %s has no name" % cls)
+    if cls.name in RECONFIG_POLICIES:
+        raise ConfigError(
+            "reconfiguration policy %r already registered" % cls.name)
+    RECONFIG_POLICIES[cls.name] = cls
+    return cls
+
+
+def get_reconfig_policy(name, **kwargs):
+    """Instantiate the policy registered under ``name``."""
+    try:
+        cls = RECONFIG_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown reconfiguration policy %r (registered: %s)"
+            % (name, ", ".join(sorted(RECONFIG_POLICIES)))
+        ) from None
+    return cls(**kwargs)
+
+
+@dataclass
+class PolicyState:
+    """Everything a policy may consult when proposing a migration."""
+
+    #: The live :class:`~repro.core.vm.FlexOSInstance`.
+    instance: Any
+    #: The :class:`~repro.reconfig.engine.ReconfigurationEngine` that
+    #: would apply a proposal (policies read its reports, never call it).
+    engine: Any = None
+    #: A :meth:`~repro.obs.hub.TelemetryHub.evaluator_input` dict, when
+    #: the caller runs under live telemetry.
+    signal: Any = None
+    #: The telemetry window index the signal was sampled at.
+    window: int = 0
+
+
+@dataclass
+class Proposal:
+    """One policy decision: migrate to ``target`` because ``trigger``."""
+
+    #: The :class:`~repro.core.config.SafetyConfig` to migrate to, or
+    #: ``None`` when the trigger fired but no admissible layout exists.
+    target: Any
+    #: Short human-readable label ("harden", "slo-burn", ...).
+    reason: str
+    #: Machine-readable cause, always with a ``kind`` key; journalled.
+    trigger: dict = field(default_factory=dict)
+    #: Candidate ranking that produced the target (empty for policies
+    #: that do not rank, e.g. the fixed harden ladder).
+    ranking: list = field(default_factory=list)
+
+
+class ReconfigurationPolicy:
+    """Protocol: look at live state, maybe propose the next layout."""
+
+    #: Registry key.
+    name = None
+
+    def propose(self, state):
+        """A :class:`Proposal`, or ``None`` when nothing triggered."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__
+
+
+@register_reconfig_policy
+class HardenOnFaultPolicy(ReconfigurationPolicy):
+    """Climb the harden ladder when the supervisor queues fault pressure.
+
+    Wraps a supervisor-side :class:`~repro.faults.supervisor
+    .HardenPolicy` (which counts contained faults per compartment and
+    fills ``pending``) and turns its queue into a migration proposal one
+    rung up the :data:`~repro.reconfig.harden.HARDEN_LADDER`.  Draining
+    ``pending`` here keeps the supervisor policy single-purpose: it
+    counts, this decides.
+    """
+
+    name = "harden-on-fault"
+
+    def __init__(self, supervisor_policy):
+        if not hasattr(supervisor_policy, "pending"):
+            raise ConfigError(
+                "%r has no pending queue; pass the supervisor's "
+                "HardenPolicy" % (supervisor_policy,)
+            )
+        self.supervisor_policy = supervisor_policy
+
+    def propose(self, state):
+        pending = list(self.supervisor_policy.pending)
+        if not pending:
+            return None
+        self.supervisor_policy.pending.clear()
+        trigger = {"kind": "fault-pressure",
+                   "compartments": sorted(pending)}
+        target = harden_target(state.instance.image.config)
+        if target is None:
+            return Proposal(None, "at-ladder-top", trigger)
+        return Proposal(target, "harden", trigger)

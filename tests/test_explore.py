@@ -12,7 +12,10 @@ from repro.errors import ExplorationError
 from repro.explore import (
     ConfigPoset,
     ExplorationRequest,
+    Measurement,
     ProfileEvaluator,
+    SyntheticEvaluator,
+    as_measurement,
     explore,
     generate_fig6_space,
     hardening_subsets,
@@ -202,7 +205,7 @@ class TestExplorer:
     def test_recommendations_meet_budget(self):
         result = self.run(budget=500_000)
         for name in result.recommended:
-            assert self.evaluator(result.poset.layouts[name]) >= 500_000
+            assert self.evaluator(result.poset.layouts[name]).value >= 500_000
 
     def test_recommendations_are_maximal(self):
         result = self.run(budget=500_000)
@@ -246,3 +249,99 @@ class TestExplorer:
         with pytest.deprecated_call():
             legacy = explore(layouts, measure, budget=500_000)
         assert legacy.recommended == self.run(budget=500_000).recommended
+
+
+class TestMeasurement:
+    def test_value_coerced_to_float(self):
+        m = Measurement(5)
+        assert m.value == 5.0 and isinstance(m.value, float)
+        assert float(m) == 5.0
+        assert m.objective == "throughput"
+
+    def test_rejects_bad_objective_and_value(self):
+        with pytest.raises(ExplorationError):
+            Measurement(1.0, objective="latency")
+        with pytest.raises(ExplorationError):
+            Measurement("fast")
+        with pytest.raises(ExplorationError):
+            Measurement(True)
+
+    def test_round_trips_through_dict(self):
+        m = Measurement(3.5, "tail_at_rate", meta={"windows": 4})
+        assert Measurement.from_dict(m.to_dict()) == m
+
+    def test_no_ordering_with_numbers(self):
+        """Migrations to .value must be explicit, not silent."""
+        with pytest.raises(TypeError):
+            Measurement(1.0) >= 0  # noqa: B015
+
+    def test_bare_float_shim_warns(self):
+        with pytest.deprecated_call():
+            shimmed = as_measurement(1234.0)
+        assert shimmed == Measurement(1234.0)
+        # A Measurement passes through silently and unchanged.
+        direct = Measurement(1.0, "slo_headroom")
+        assert as_measurement(direct) is direct
+
+    def test_shim_rejects_non_numeric(self):
+        with pytest.raises(ExplorationError):
+            as_measurement(None)
+        with pytest.raises(ExplorationError):
+            as_measurement(True)
+
+    def test_shim_inherits_evaluator_objective(self):
+        evaluator = SyntheticEvaluator().for_objective("slo_headroom")
+        with pytest.deprecated_call():
+            shimmed = as_measurement(2.0, evaluator)
+        assert shimmed.objective == "slo_headroom"
+
+
+class TestObjectiveApi:
+    def test_for_objective_clones(self):
+        base = SyntheticEvaluator(seed=7)
+        retargeted = base.for_objective("tail_at_rate")
+        assert retargeted is not base
+        assert retargeted.objective == "tail_at_rate"
+        assert base.objective == "throughput"
+        assert base.for_objective("throughput") is base
+
+    def test_objective_in_cache_key(self):
+        base = SyntheticEvaluator(seed=7)
+        other = base.for_objective("slo_headroom")
+        assert base.key() != other.key()
+
+    def test_unsupported_objective_rejected(self):
+        profile = ProfileEvaluator(app="redis")
+        with pytest.raises(ExplorationError):
+            profile.for_objective("tail_at_rate")
+        with pytest.raises(ExplorationError):
+            profile.for_objective("best-effort")
+
+    def test_request_objective_threads_to_result(self):
+        result = explore(ExplorationRequest(
+            layouts=generate_fig6_space(),
+            evaluator=SyntheticEvaluator(),
+            budget=0, objective="slo_headroom",
+        ))
+        assert result.objective == "slo_headroom"
+        assert result.summary()["objective"] == "slo_headroom"
+        for value in result.measurements.values():
+            assert value.objective == "slo_headroom"
+
+    def test_request_inherits_evaluator_objective(self):
+        result = explore(ExplorationRequest(
+            layouts=generate_fig6_space(),
+            evaluator=SyntheticEvaluator().for_objective("tail_at_rate"),
+            budget=-10**9,
+        ))
+        assert result.objective == "tail_at_rate"
+
+    def test_bare_float_evaluator_shims_through_explore(self):
+        with pytest.deprecated_call():
+            result = explore(ExplorationRequest(
+                layouts=generate_fig6_space(),
+                evaluator=lambda layout: 1.0,
+                budget=0,
+            ))
+        assert all(isinstance(v, Measurement)
+                   for v in result.measurements.values())

@@ -6,6 +6,7 @@ from repro.bench import Wayfinder
 from repro.explore import (
     CallableEvaluator,
     ExplorationRequest,
+    Measurement,
     ProfileEvaluator,
     explore,
 )
@@ -69,9 +70,10 @@ class TestNoisyExploration:
         wayfinder = Wayfinder()
 
         def noisy_measure(layout):
-            sweep = wayfinder.sweep([layout], EVALUATOR, repetitions=5,
-                                    noise=rng)
-            return sweep.value_of(layout.name)
+            sweep = wayfinder.sweep([layout],
+                                    lambda l: EVALUATOR(l).value,
+                                    repetitions=5, noise=rng)
+            return Measurement(sweep.value_of(layout.name))
 
         result = run(generate_fig6_space(),
                      evaluator=CallableEvaluator(noisy_measure,

@@ -127,7 +127,7 @@ class TestExplorationEndToEnd:
         assert result.evaluations < 80
         # Every recommended config really holds 500K req/s.
         for name in result.recommended:
-            assert result.measurements[name] >= 500_000
+            assert result.measurements[name].value >= 500_000
 
     def test_as_secure_as_you_can_afford(self):
         """Use case: lowering the budget never removes safety — the
