@@ -3,8 +3,9 @@
 Not a paper figure — the scaling experiment on top of the FlexOS
 reproduction.  The paper's evaluation prices isolation per gate
 crossing under closed-loop benchmarks; this benchmark instead serves
-Redis over the real TCP stack on the SMP scheduler
-(:mod:`repro.kernel.smp`) while seeded Poisson arrivals inject requests
+each app over its real substrate on the SMP scheduler
+(:mod:`repro.kernel.smp`) — Redis and nginx over the TCP stack, SQLite
+over the journalled VFS — while seeded Poisson arrivals inject requests
 at fixed fractions of the measured saturation throughput, so isolation
 cost competes with queueing delay the way it would in production.
 
@@ -21,7 +22,7 @@ is stable across runs and safe for the ``obs check`` perf gate.
 from benchmarks.common import run_recorded, write_result
 from repro.bench.load import run_load
 
-APP = "redis"
+APPS = ("redis", "nginx", "sqlite")
 N_REQUESTS = 96
 CONNECTIONS = 4
 SEED = 1
@@ -45,10 +46,10 @@ def _sched_metrics(result):
     }
 
 
-def _run_curves():
+def _app_curves(app):
     curves = {}
     for cores in CORE_COUNTS:
-        baseline = run_load(APP, CONFIGS[0][0], rate_rps=None,
+        baseline = run_load(app, CONFIGS[0][0], rate_rps=None,
                             n_requests=N_REQUESTS, cores=cores,
                             connections=CONNECTIONS,
                             mpk_gate=CONFIGS[0][1])
@@ -58,13 +59,13 @@ def _run_curves():
         for mechanism, mpk_gate in CONFIGS:
             saturation = (
                 baseline if mechanism == CONFIGS[0][0]
-                else run_load(APP, mechanism, rate_rps=None,
+                else run_load(app, mechanism, rate_rps=None,
                               n_requests=N_REQUESTS, cores=cores,
                               connections=CONNECTIONS, mpk_gate=mpk_gate)
             )
             points = []
             for fraction, rate in zip(RATE_FRACTIONS, rates):
-                result = run_load(APP, mechanism, rate_rps=rate,
+                result = run_load(app, mechanism, rate_rps=rate,
                                   n_requests=N_REQUESTS, seed=SEED,
                                   cores=cores, connections=CONNECTIONS,
                                   mpk_gate=mpk_gate, trace=True)
@@ -81,36 +82,41 @@ def _run_curves():
     return curves
 
 
-def _render(curves):
+def _run_curves():
+    return {app: _app_curves(app) for app in APPS}
+
+
+def _render(by_app):
     lines = [
-        "Latency under open-loop load — %s, %d requests, "
+        "Latency under open-loop load — %s; %d requests, "
         "%d connections, seed %d"
-        % (APP, N_REQUESTS, CONNECTIONS, SEED),
+        % (", ".join(by_app), N_REQUESTS, CONNECTIONS, SEED),
     ]
-    for cores_key, per_config in curves.items():
-        lines.append("")
-        lines.append("-- %s --" % cores_key.replace("_", " "))
-        lines.append("%-10s %12s %12s %10s %10s %10s" % (
-            "config", "offered", "achieved", "p50", "p99", "p999"))
-        lines.append("%-10s %12s %12s %10s %10s %10s" % (
-            "", "rps", "rps", "us", "us", "us"))
-        for mechanism, curve in per_config.items():
-            lines.append("%-10s %12s %12.0f %10s %10s %10s" % (
-                mechanism, "saturation", curve["saturation_rps"],
-                "-", "-", "-"))
-            for point in curve["points"]:
-                lines.append(
-                    "%-10s %12.0f %12.0f %10.2f %10.2f %10.2f" % (
-                        mechanism, point["offered_rps"],
-                        point["achieved_rps"], point["p50_us"],
-                        point["p99_us"], point["p999_us"]))
+    for app, curves in by_app.items():
+        for cores_key, per_config in curves.items():
+            lines.append("")
+            lines.append("-- %s, %s --" % (app, cores_key.replace("_", " ")))
+            lines.append("%-10s %12s %12s %10s %10s %10s" % (
+                "config", "offered", "achieved", "p50", "p99", "p999"))
+            lines.append("%-10s %12s %12s %10s %10s %10s" % (
+                "", "rps", "rps", "us", "us", "us"))
+            for mechanism, curve in per_config.items():
+                lines.append("%-10s %12s %12.0f %10s %10s %10s" % (
+                    mechanism, "saturation", curve["saturation_rps"],
+                    "-", "-", "-"))
+                for point in curve["points"]:
+                    lines.append(
+                        "%-10s %12.0f %12.0f %10.2f %10.2f %10.2f" % (
+                            mechanism, point["offered_rps"],
+                            point["achieved_rps"], point["p50_us"],
+                            point["p99_us"], point["p999_us"]))
     return "\n".join(lines)
 
 
 def test_load_latency_curves(benchmark):
     curves = run_recorded(
         benchmark, "load", _run_curves,
-        config={"app": APP, "requests": N_REQUESTS, "seed": SEED,
+        config={"apps": list(APPS), "requests": N_REQUESTS, "seed": SEED,
                 "cores": list(CORE_COUNTS),
                 "connections": CONNECTIONS,
                 "mechanisms": ["%s/%s" % pair for pair in CONFIGS],
@@ -118,22 +124,25 @@ def test_load_latency_curves(benchmark):
         pedantic={"rounds": 1, "iterations": 1},
     )
     write_result("load", _render(curves))
-    for per_config in curves.values():
-        for mechanism, curve in per_config.items():
-            assert curve["saturation_rps"] > 0
-            for point in curve["points"]:
-                assert point["completed"] == N_REQUESTS
-                assert (point["p50_us"] <= point["p99_us"]
-                        <= point["p999_us"])
-                assert point["metrics"]["runqueue_depth"].get(
-                    "total", 0) > 0
-    for cores_key, per_config in curves.items():
-        # Isolation costs latency at identical offered load: at the
-        # lowest shared rate the compartmentalised configs may not beat
-        # the monolithic one, and the EPT rung's RPC gates price it
-        # above MPK.
-        none_p50 = per_config["none"]["points"][0]["p50_us"]
-        mpk_p50 = per_config["intel-mpk"]["points"][0]["p50_us"]
-        ept_p50 = per_config["vm-ept"]["points"][0]["p50_us"]
-        assert mpk_p50 >= none_p50, (cores_key, mpk_p50, none_p50)
-        assert ept_p50 >= mpk_p50, (cores_key, ept_p50, mpk_p50)
+    for app, app_curves in curves.items():
+        for per_config in app_curves.values():
+            for mechanism, curve in per_config.items():
+                assert curve["saturation_rps"] > 0, (app, mechanism)
+                for point in curve["points"]:
+                    assert point["completed"] == N_REQUESTS
+                    assert (point["p50_us"] <= point["p99_us"]
+                            <= point["p999_us"])
+                    assert point["metrics"]["runqueue_depth"].get(
+                        "total", 0) > 0
+        for cores_key, per_config in app_curves.items():
+            # Isolation costs latency at identical offered load: at the
+            # lowest shared rate the compartmentalised configs may not
+            # beat the monolithic one, and the EPT rung's RPC gates
+            # price it above MPK.
+            none_p50 = per_config["none"]["points"][0]["p50_us"]
+            mpk_p50 = per_config["intel-mpk"]["points"][0]["p50_us"]
+            ept_p50 = per_config["vm-ept"]["points"][0]["p50_us"]
+            assert mpk_p50 >= none_p50, (app, cores_key, mpk_p50,
+                                         none_p50)
+            assert ept_p50 >= mpk_p50, (app, cores_key, ept_p50,
+                                        mpk_p50)

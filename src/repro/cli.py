@@ -475,6 +475,56 @@ def cmd_load(args, out):
     return emit(args, out, text, payload=summary, label="load report")
 
 
+def cmd_compile_report(args, out):
+    """Run an app with the datapath compiler attached and report what it
+    compiled: counters, per-plan hit counts, and deopt reasons."""
+    from repro.bench.functional import run_functional
+    from repro.compile import default_enabled
+
+    if not default_enabled():
+        out.write("datapath compiler disabled (FLEXOS_COMPILE=off)\n")
+        return EXIT_FAIL
+    run = run_functional(
+        args.app, args.mechanism, n_requests=args.requests,
+        mpk_gate=args.mpk_gate, compile_engine=True,
+    )
+    engine = run.ctx.compiler
+    report = engine.report()
+    report["app"] = run.app
+    report["mechanism"] = run.mechanism
+    report["n_requests"] = run.n_requests
+    report["cycles_per_request"] = run.cycles_per_request
+    counters = report["counters"]
+    counter_rows = [(name, str(value))
+                    for name, value in sorted(counters.items())]
+    plan_rows = [
+        (entry["shape"], str(entry["ops"]), str(entry["hits"]),
+         str(entry["epoch"]))
+        for entry in report["plans"]
+    ]
+    sections = [
+        format_table(
+            counter_rows, headers=("counter", "value"),
+            title="compile report: %s/%s, %d requests"
+                  % (run.app, run.mechanism, run.n_requests),
+        ),
+        format_table(
+            plan_rows or [("(no plans compiled)", "-", "-", "-")],
+            headers=("plan shape", "ops", "hits", "epoch"),
+            title="specialized plans",
+        ),
+    ]
+    if report["deopt_reasons"]:
+        sections.append(format_table(
+            [(reason, str(count))
+             for reason, count in report["deopt_reasons"].items()],
+            headers=("deopt reason", "count"),
+            title="deopt reasons",
+        ))
+    return emit(args, out, "\n\n".join(sections), payload=report,
+                label="compile report")
+
+
 def parse_schedule(text):
     """``"rate:n,rate:n"`` → ``[(rate_rps, n_requests), ...]``."""
     phases = []
@@ -898,6 +948,22 @@ def build_parser():
     add_seed_option(p_load)
     add_output_options(p_load)
     p_load.set_defaults(func=cmd_load)
+
+    p_compile = sub.add_parser(
+        "compile", help="trace-driven datapath compiler",
+        description="Inspect the trace-driven datapath compiler "
+                    "(docs/compiler.md).",
+    )
+    compile_sub = p_compile.add_subparsers(dest="compile_cmd", required=True)
+    p_creport = compile_sub.add_parser(
+        "report", help="run an app compiled and dump plans + counters",
+        description="Run a functional workload with the compiler "
+                    "attached, then report compiled plans, hit counts, "
+                    "and deopt reasons.",
+    )
+    add_functional_args(p_creport)
+    add_output_options(p_creport)
+    p_creport.set_defaults(func=cmd_compile_report)
 
     p_autotune = sub.add_parser(
         "autotune", help="closed-loop isolation autotuning under live "

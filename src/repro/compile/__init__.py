@@ -1,0 +1,52 @@
+"""Trace-driven datapath compiler (see ``docs/compiler.md``).
+
+Records hot request pipelines at the router, lowers them into a small
+op-graph IR, runs transformer passes (check hoisting, gate coalescing,
+alloc batching, copy fusion), and replays the specialized plan on every
+later same-shape request — guarded, epoch-invalidated, and killable
+via ``FLEXOS_COMPILE=off``.
+"""
+
+from repro.compile.engine import (
+    DatapathCompiler,
+    EXECUTE,
+    IDLE,
+    RECORD,
+    attach,
+    default_enabled,
+    detach,
+)
+from repro.compile.ir import KIND_NAMES, OpNode, Plan, lower
+from repro.compile.passes import (
+    PIPELINE,
+    AllocBatchingPass,
+    CheckHoistingPass,
+    CopyFusionPass,
+    GateCoalescingPass,
+    Pass,
+    run_pipeline,
+)
+from repro.compile.shapes import shape_label, shape_of
+
+__all__ = [
+    "DatapathCompiler",
+    "IDLE",
+    "RECORD",
+    "EXECUTE",
+    "attach",
+    "detach",
+    "default_enabled",
+    "OpNode",
+    "Plan",
+    "KIND_NAMES",
+    "lower",
+    "Pass",
+    "PIPELINE",
+    "CheckHoistingPass",
+    "GateCoalescingPass",
+    "AllocBatchingPass",
+    "CopyFusionPass",
+    "run_pipeline",
+    "shape_of",
+    "shape_label",
+]

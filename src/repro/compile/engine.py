@@ -1,0 +1,630 @@
+"""The datapath compiler engine: recorder + executor + plan cache.
+
+One :class:`DatapathCompiler` hangs off an execution context
+(``ctx.compiler``, installed by :func:`attach`).  The router consults it
+on every *top-level* entry-point call (``gate_depth == 0``, engine
+idle); nested routed calls made while the engine is recording or
+executing stay on the interpreted path and show up as interior ops of
+the enclosing request's trace, which is exactly what makes the plan
+cover the whole pipeline.
+
+States
+------
+* ``IDLE`` — dispatch decides: execute a cached plan (entry guards
+  pass), record a new trace (no plan, shape not blacklisted), or fall
+  through to the interpreted path.
+* ``RECORD`` — the call runs interpreted while the hook sites append
+  raw ops; a trace that survives (no fault unwound, epoch unchanged,
+  under the size cap) is lowered and run through the pass pipeline.
+* ``EXECUTE`` — the call runs with a cursor over the plan's ops; every
+  hook firing must match the node under the cursor.  Matched annotated
+  nodes elide their accounting (see :mod:`repro.compile.passes`); any
+  mismatch **deopts**: elision stops and the remainder of the request
+  runs fully interpreted.  Deopt is always sound because elision never
+  changes machine state — the ops already elided genuinely happened
+  exactly as planned, and everything after the mismatch is charged and
+  checked as if the engine were absent.
+
+Guards and invalidation
+-----------------------
+A plan records the protection state it was compiled under: the global
+epoch plus the entry ``(compartment, PKRU word, ASID)`` — the layout
+fingerprint.  Live reconfiguration and every other structural mutation
+bump the epoch (:func:`repro.hw.tlb.bump_epoch`), so a migrated layout
+invalidates every plan at the next dispatch and the engine re-records
+under the new layout.  Per-check tags re-verify the full TLB tag at
+match time, which also catches PKRU/ASID drift *within* a request.
+
+Threading: one engine serves one context, and record/execute sessions
+belong to the thread that opened them — hook firings from other
+cooperative threads (interleaved while the request blocks) are ignored
+by the recorder and matcher and stay fully interpreted.
+
+Kill switch: ``FLEXOS_COMPILE=off`` (or ``0``/``false``/``no``)
+mirrors ``FLEXOS_TLB`` — :func:`attach` becomes a no-op and every call
+takes the interpreted path.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.compile.ir import (
+    ALLOC,
+    CHECK,
+    COPY,
+    FREE,
+    GATE_ENTER,
+    GATE_LEAVE,
+    lower,
+)
+from repro.compile.passes import run_pipeline
+from repro.compile.shapes import shape_label, shape_of
+from repro.hw.tlb import EPOCH
+from repro.obs import tracer as obs
+
+#: Engine states (ints: the hook sites test them on every firing).
+IDLE = 0
+RECORD = 1
+EXECUTE = 2
+
+#: Ops per trace beyond which a shape is not worth specializing.
+TRACE_CAP = 4096
+#: Aborted recordings (a fault unwound mid-trace) before a shape is
+#: blacklisted.
+RECORD_ATTEMPTS = 3
+#: Consecutive non-hit executions before a plan is dropped for
+#: re-recording.
+PLAN_MISS_LIMIT = 4
+#: Compiles per shape before the shape is blacklisted (a shape that
+#: keeps invalidating is polymorphic or migration-churned; stop paying).
+RECOMPILE_LIMIT = 8
+#: Entries in the (func, args) -> shape memo before it is cleared.
+_SHAPE_CACHE_CAP = 8192
+
+
+def default_enabled():
+    """Whether :func:`attach` builds an engine (the kill switch).
+
+    Parsed exactly like ``FLEXOS_TLB`` (see
+    :func:`repro.hw.tlb.default_enabled`): on unless ``FLEXOS_COMPILE``
+    is ``off``/``0``/``false``/``no``.
+    """
+    return os.environ.get("FLEXOS_COMPILE", "on").lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def attach(target):
+    """Attach a fresh engine to an instance (or raw context).
+
+    Opt-in per workload rather than default-on at boot: elision changes
+    the *virtual* gate/check counts (that is the point), so workloads
+    with committed metric baselines must not silently start compiling.
+    Returns the engine, or ``None`` when ``FLEXOS_COMPILE`` is off.
+    """
+    ctx = getattr(target, "ctx", target)
+    if not default_enabled():
+        ctx.compiler = None
+        return None
+    engine = DatapathCompiler(ctx)
+    ctx.compiler = engine
+    return engine
+
+
+def detach(target):
+    """Remove the engine from an instance/context; returns it (or None)."""
+    ctx = getattr(target, "ctx", target)
+    engine = ctx.compiler
+    ctx.compiler = None
+    return engine
+
+
+class DatapathCompiler:
+    """Per-context trace-driven specializer (see module docstring)."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.state = IDLE
+        #: shape -> Plan.
+        self._plans = {}
+        #: (func, args) -> shape memo.  Shapes are pure functions of
+        #: their inputs, so identical call tuples always re-derive the
+        #: identical shape; the memo just skips the per-arg class
+        #: derivation on warm dispatches.  Bounded (cleared at the cap)
+        #: because workloads with high-cardinality payloads would
+        #: otherwise grow it without limit.
+        self._shape_cache = {}
+        #: Shapes not worth (or unsafe to keep) specializing.
+        self._nocompile = set()
+        self._aborts = {}
+        self._compiles_by_shape = {}
+        # Recording session state.
+        self._trace = None
+        self._thread = None
+        self._entry = None
+        self._epoch0 = 0
+        # Execution session state.
+        self._plan = None
+        self._cursor = 0
+        self._active = False
+        self._carry = False
+        #: Cross-call coalescing carry: (thread, gate, epoch) of the
+        #: last specialized execution's tail edge.  Cleared by any
+        #: interpreted dispatch, deopt, guard miss, or invalidation —
+        #: the "consecutive same-destination" claim only holds while
+        #: every intervening call was a specialized hit.
+        self._tail = None
+        # Counters (surfaced by report() and teed into the tracer's
+        # "compile" section per dispatch).
+        self.dispatches = 0
+        self.interpreted = 0
+        self.records = 0
+        self.aborted_records = 0
+        self.discarded_records = 0
+        self.plans_compiled = 0
+        self.recompiles = 0
+        self.plan_hits = 0
+        self.guard_misses = 0
+        self.deopts = 0
+        self.invalidations = 0
+        self.checks_elided = 0
+        self.checks_hoisted = 0
+        self.gates_coalesced = 0
+        self.allocs_batched = 0
+        self.copies_matched = 0
+        self.deopt_reasons = {}
+
+    # -- tee into the tracer --------------------------------------------------
+    @staticmethod
+    def _tee(op, n=1):
+        tracer = obs.ACTIVE
+        if tracer.enabled:
+            tracer.compile_op(op, n)
+
+    # -- guards ---------------------------------------------------------------
+    @staticmethod
+    def _entry_state(ctx):
+        pkru = ctx.pkru
+        space = ctx.address_space
+        return (
+            ctx.compartment,
+            pkru.word if pkru is not None else -1,
+            space.asid if space is not None else -1,
+        )
+
+    # -- dispatch -------------------------------------------------------------
+    def dispatch(self, router, ctx, dst, library, func, args, kwargs):
+        """Route one top-level call through the engine.
+
+        Called by :meth:`repro.core.image.Router.route` only when the
+        engine is idle and ``gate_depth`` is zero; always funnels into
+        ``router._dispatch`` so direct/gated accounting and entry-point
+        legality are byte-identical to the interpreted path.
+        """
+        self.dispatches += 1
+        if kwargs:
+            shape = shape_of(library, func, args, kwargs)
+        else:
+            try:
+                shape = self._shape_cache.get((func, args))
+            except TypeError:  # unhashable argument
+                shape = shape_of(library, func, args, kwargs)
+            else:
+                if shape is None:
+                    shape = shape_of(library, func, args, kwargs)
+                    if len(self._shape_cache) >= _SHAPE_CACHE_CAP:
+                        self._shape_cache.clear()
+                    self._shape_cache[(func, args)] = shape
+        plan = self._plans.get(shape)
+        if plan is not None:
+            if plan.epoch != EPOCH[0]:
+                # Layout fingerprint moved (migration, pkey re-stamp,
+                # mapping change): the plan's tags are stale.
+                self._invalidate(shape, plan)
+                plan = None
+            elif plan.entry != self._entry_state(ctx):
+                self.guard_misses += 1
+                self._tee("guard_misses")
+                self._tail = None
+                self.interpreted += 1
+                return router._dispatch(ctx, dst, library, func, args,
+                                        kwargs)
+        if plan is not None:
+            return self._execute(plan, router, ctx, dst, library, func,
+                                 args, kwargs)
+        if shape in self._nocompile:
+            self._tail = None
+            self.interpreted += 1
+            return router._dispatch(ctx, dst, library, func, args, kwargs)
+        return self._record(shape, router, ctx, dst, library, func, args,
+                            kwargs)
+
+    # -- recording ------------------------------------------------------------
+    def _record(self, shape, router, ctx, dst, library, func, args,
+                kwargs):
+        self.records += 1
+        self._tee("records")
+        self.state = RECORD
+        self._trace = []
+        self._thread = ctx.current_thread
+        self._entry = self._entry_state(ctx)
+        self._epoch0 = EPOCH[0]
+        self._tail = None
+        ok = False
+        try:
+            result = router._dispatch(ctx, dst, library, func, args,
+                                      kwargs)
+            ok = True
+            return result
+        finally:
+            trace = self._trace
+            self.state = IDLE
+            self._trace = None
+            self._thread = None
+            self._finish_record(shape, trace, ok)
+
+    def _finish_record(self, shape, trace, ok):
+        if not ok:
+            # A fault unwound through the request: the trace holds a
+            # fault path, not the steady-state pipeline.  Discard; give
+            # up on the shape after a few attempts.
+            self.aborted_records += 1
+            self._tee("aborted_records")
+            aborts = self._aborts.get(shape, 0) + 1
+            self._aborts[shape] = aborts
+            if aborts >= RECORD_ATTEMPTS:
+                self._nocompile.add(shape)
+            return
+        if len(trace) > TRACE_CAP:
+            self._nocompile.add(shape)
+            self.discarded_records += 1
+            self._tee("discarded_records")
+            return
+        if EPOCH[0] != self._epoch0:
+            # The request itself moved the layout mid-trace; every
+            # recorded tag predates the bump.  Discard, retry later.
+            self.discarded_records += 1
+            self._tee("discarded_records")
+            return
+        compiles = self._compiles_by_shape.get(shape, 0) + 1
+        self._compiles_by_shape[shape] = compiles
+        if compiles > RECOMPILE_LIMIT:
+            self._nocompile.add(shape)
+            self.discarded_records += 1
+            self._tee("discarded_records")
+            return
+        plan = lower(shape, trace, self._epoch0, self._entry)
+        run_pipeline(plan)
+        self._plans[shape] = plan
+        self.plans_compiled += 1
+        self._tee("plans_compiled")
+        if compiles > 1:
+            self.recompiles += 1
+            self._tee("recompiles")
+
+    # -- execution ------------------------------------------------------------
+    def _execute(self, plan, router, ctx, dst, library, func, args,
+                 kwargs):
+        self.state = EXECUTE
+        self._plan = plan
+        self._cursor = 0
+        self._active = True
+        self._thread = ctx.current_thread
+        carry = self._tail
+        self._carry = (
+            carry is not None
+            and carry[0] is ctx.current_thread
+            and carry[2] == EPOCH[0]
+            and plan.head_gate is not None
+            and carry[1] is plan.head_gate
+        )
+        self._tail = None
+        checks0 = self.checks_elided
+        gates0 = self.gates_coalesced
+        allocs0 = self.allocs_batched
+        completed = False
+        try:
+            result = router._dispatch(ctx, dst, library, func, args,
+                                      kwargs)
+            completed = True
+            return result
+        finally:
+            active = self._active
+            cursor = self._cursor
+            self.state = IDLE
+            self._plan = None
+            self._active = False
+            self._thread = None
+            self._carry = False
+            if completed and active and cursor == len(plan.ops):
+                self.plan_hits += 1
+                plan.hits += 1
+                plan.miss_row = 0
+                if plan.tail_gate is not None:
+                    self._tail = (ctx.current_thread, plan.tail_gate,
+                                  EPOCH[0])
+                # A gate-free plan (a direct call's interior checks)
+                # neither extends nor breaks the coalescing run; leave
+                # the carry from the previous gated hit standing.
+                elif carry is not None and self._carry is False \
+                        and plan.head_gate is None:
+                    self._tail = carry
+            else:
+                if completed and active:
+                    # Clean return but the trace was not consumed: the
+                    # request took a shorter path than the plan.
+                    self._deopt("short-trace")
+                plan.miss_row += 1
+                if plan.miss_row >= PLAN_MISS_LIMIT:
+                    self._invalidate(plan.shape, plan)
+            tracer = obs.ACTIVE
+            if tracer.enabled:
+                metrics = tracer.metrics
+                if completed and cursor == len(plan.ops) and active:
+                    metrics.record_compile("plan_hits")
+                delta = self.checks_elided - checks0
+                if delta:
+                    metrics.record_compile("checks_elided", delta)
+                delta = self.gates_coalesced - gates0
+                if delta:
+                    metrics.record_compile("gates_coalesced", delta)
+                delta = self.allocs_batched - allocs0
+                if delta:
+                    metrics.record_compile("allocs_batched", delta)
+
+    def _deopt(self, reason):
+        self._active = False
+        self.deopts += 1
+        self.deopt_reasons[reason] = self.deopt_reasons.get(reason, 0) + 1
+        self._tail = None
+        self._tee("deopts")
+
+    def _invalidate(self, shape, plan):
+        plan.valid = False
+        if self._plans.get(shape) is plan:
+            del self._plans[shape]
+        self.invalidations += 1
+        self._tail = None
+        self._tee("invalidations")
+
+    # -- hook sites: MMU ------------------------------------------------------
+    def on_check_record(self, ctx, region, access):
+        """Record one *allowed* check (called after the verdict)."""
+        if ctx.current_thread is not self._thread:
+            return
+        trace = self._trace
+        if trace is None or len(trace) > TRACE_CAP:
+            return
+        pkru = ctx.pkru
+        space = ctx.address_space
+        trace.append((
+            "check", region, access,
+            (EPOCH[0],
+             pkru.word if pkru is not None else -1,
+             space.asid if space is not None else -1),
+        ))
+
+    def on_check_execute(self, mmu, ctx, region, access):
+        """EXECUTE-mode check: True = the plan elides this check.
+
+        Sound by the permission-TLB argument: the node's tag captures
+        everything the verdict derives from (epoch, PKRU word, ASID),
+        so an identical tag implies the identical allow verdict.  Any
+        difference deopts and the check runs interpreted.
+        """
+        if not self._active or ctx.current_thread is not self._thread:
+            return False
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("check-overrun")
+            return False
+        node = ops[cursor]
+        if node.kind != CHECK or node.region is not region \
+                or node.access is not access:
+            self._deopt("check-mismatch")
+            return False
+        pkru = ctx.pkru
+        space = ctx.address_space
+        if node.tag != (EPOCH[0],
+                        pkru.word if pkru is not None else -1,
+                        space.asid if space is not None else -1):
+            self._deopt("check-tag")
+            return False
+        self._cursor = cursor + 1
+        if node.counts_check:
+            # The hoisted check of this (region, access) pair: the tag
+            # compare above *is* the check.  It counts toward MMU
+            # coverage once per pair per tag — repeat executions under
+            # an unchanged protection state elide the count exactly as
+            # the hoisting pass promises (any epoch bump, PKRU write, or
+            # ASID change produces a different tag and re-counts).
+            counted = self._plan.counted
+            key = (region, access)
+            if counted.get(key) != node.tag:
+                counted[key] = node.tag
+                mmu.checks += 1
+                self.checks_hoisted += 1
+            else:
+                self.checks_elided += 1
+        else:
+            self.checks_elided += 1
+        return True
+
+    # -- hook sites: gates ----------------------------------------------------
+    def on_gate_record_enter(self, gate, ctx):
+        if ctx.current_thread is not self._thread:
+            return
+        trace = self._trace
+        if trace is not None and len(trace) <= TRACE_CAP:
+            trace.append(("ge", gate))
+
+    def on_gate_enter(self, gate, ctx):
+        """EXECUTE-mode crossing entry: True = coalesced by the plan."""
+        if not self._active or ctx.current_thread is not self._thread:
+            return False
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("gate-overrun")
+            return False
+        node = ops[cursor]
+        if node.kind != GATE_ENTER or node.gate is not gate:
+            self._deopt("gate-mismatch")
+            return False
+        self._cursor = cursor + 1
+        if node.coalesced:
+            self.gates_coalesced += 1
+            return True
+        if self._carry and cursor == self._plan.head_index:
+            # The previous specialized call's tail crossing left this
+            # very gate: the edge's transition masks are already the
+            # plan's — coalesce across the call boundary.
+            self._carry = False
+            self.gates_coalesced += 1
+            return True
+        return False
+
+    def on_gate_leave(self, gate, ctx):
+        """Both modes: record or match the crossing's exit."""
+        if self.state == RECORD:
+            if ctx.current_thread is not self._thread:
+                return
+            trace = self._trace
+            if trace is not None and len(trace) <= TRACE_CAP:
+                trace.append(("gl", gate))
+            return
+        if not self._active or ctx.current_thread is not self._thread:
+            return
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("gate-leave-overrun")
+            return
+        node = ops[cursor]
+        if node.kind != GATE_LEAVE or node.gate is not gate:
+            self._deopt("gate-leave-mismatch")
+            return
+        self._cursor = cursor + 1
+
+    # -- hook sites: allocators -----------------------------------------------
+    def on_alloc(self, ctx, region_name, size, fast):
+        """True = this alloc's charge+event are batched by the plan."""
+        if self.state == RECORD:
+            if ctx.current_thread is self._thread:
+                trace = self._trace
+                if trace is not None and len(trace) <= TRACE_CAP:
+                    trace.append(("al", region_name, size))
+            return False
+        if not self._active or ctx.current_thread is not self._thread:
+            return False
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("alloc-overrun")
+            return False
+        node = ops[cursor]
+        if node.kind != ALLOC or node.region_name != region_name:
+            self._deopt("alloc-mismatch")
+            return False
+        self._cursor = cursor + 1
+        if node.batched:
+            self.allocs_batched += 1
+            return True
+        return False
+
+    def on_free(self, ctx, region_name):
+        """True = this free's charge+event are batched by the plan."""
+        if self.state == RECORD:
+            if ctx.current_thread is self._thread:
+                trace = self._trace
+                if trace is not None and len(trace) <= TRACE_CAP:
+                    trace.append(("fr", region_name))
+            return False
+        if not self._active or ctx.current_thread is not self._thread:
+            return False
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("free-overrun")
+            return False
+        node = ops[cursor]
+        if node.kind != FREE or node.region_name != region_name:
+            self._deopt("free-mismatch")
+            return False
+        self._cursor = cursor + 1
+        if node.batched:
+            self.allocs_batched += 1
+            return True
+        return False
+
+    # -- hook sites: buffer copies ---------------------------------------------
+    def on_copy(self, ctx, region, copy_kind, nbytes):
+        """Record/match one ByteBuffer op (copies always charge)."""
+        if self.state == RECORD:
+            if ctx.current_thread is self._thread:
+                trace = self._trace
+                if trace is not None and len(trace) <= TRACE_CAP:
+                    trace.append(("cp", region, copy_kind, nbytes))
+            return
+        if not self._active or ctx.current_thread is not self._thread:
+            return
+        ops = self._plan.ops
+        cursor = self._cursor
+        if cursor >= len(ops):
+            self._deopt("copy-overrun")
+            return
+        node = ops[cursor]
+        if node.kind != COPY or node.region is not region \
+                or node.copy_kind != copy_kind:
+            self._deopt("copy-mismatch")
+            return
+        self._cursor = cursor + 1
+        self.copies_matched += 1
+
+    # -- reporting ------------------------------------------------------------
+    def counters(self):
+        return {
+            "dispatches": self.dispatches,
+            "interpreted": self.interpreted,
+            "records": self.records,
+            "aborted_records": self.aborted_records,
+            "discarded_records": self.discarded_records,
+            "plans_compiled": self.plans_compiled,
+            "recompiles": self.recompiles,
+            "plan_hits": self.plan_hits,
+            "guard_misses": self.guard_misses,
+            "deopts": self.deopts,
+            "invalidations": self.invalidations,
+            "checks_elided": self.checks_elided,
+            "checks_hoisted": self.checks_hoisted,
+            "gates_coalesced": self.gates_coalesced,
+            "allocs_batched": self.allocs_batched,
+            "copies_matched": self.copies_matched,
+        }
+
+    def report(self):
+        """JSON-serialisable state for ``compile report`` and benches."""
+        return {
+            "enabled": True,
+            "counters": self.counters(),
+            "deopt_reasons": dict(sorted(self.deopt_reasons.items())),
+            "shapes": {
+                "compiled": len(self._plans),
+                "nocompile": len(self._nocompile),
+            },
+            "plans": sorted(
+                (plan.describe() for plan in self._plans.values()),
+                key=lambda entry: entry["shape"],
+            ),
+        }
+
+    def __repr__(self):
+        return "DatapathCompiler(%d plans, %d hits, %d deopts)" % (
+            len(self._plans), self.plan_hits, self.deopts,
+        )
+
+
+def _shape_name(shape):  # pragma: no cover - debug helper
+    return shape_label(shape)

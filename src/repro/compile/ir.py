@@ -1,0 +1,204 @@
+"""The datapath IR: a linear op graph lowered from recorded traces.
+
+A recorded trace is a list of raw tuples appended by the engine's hooks
+(cheap to produce on the hot path); :func:`lower` converts it into
+:class:`OpNode` objects that the transformer passes annotate and the
+executor matches against, one node per runtime hook firing:
+
+* ``CHECK`` — one :meth:`repro.hw.mmu.MMU.check` that *allowed* the
+  access, tagged with the protection state it was allowed under (the
+  permission-TLB tag: epoch, PKRU word, ASID).  Denied checks are never
+  recorded: the fault path must always re-derive.
+* ``GATE_ENTER`` / ``GATE_LEAVE`` — one gate crossing's entry and exit,
+  holding the gate object itself (identity is the guard: a reconfigured
+  layout installs new gate objects and stops matching).
+* ``ALLOC`` / ``FREE`` — one allocator operation in a named heap region.
+* ``COPY`` — one :class:`~repro.hw.memory.ByteBuffer` operation
+  (``r``/``w`` scalar, ``rv``/``wv`` vectored).
+
+Nodes are matched by *identity and kind*, never by payload size — spans
+and payload lengths vary within a shape, datapath structure does not.
+
+Pass annotations (``counts_check``, ``coalesced``, ``batched``,
+``fused``) are what the executor acts on; see
+:mod:`repro.compile.passes`.
+"""
+
+from __future__ import annotations
+
+from repro.compile.shapes import shape_label
+
+#: Node kinds (small ints: the executor compares them on every op).
+CHECK = 0
+GATE_ENTER = 1
+GATE_LEAVE = 2
+ALLOC = 3
+FREE = 4
+COPY = 5
+
+KIND_NAMES = {
+    CHECK: "check",
+    GATE_ENTER: "gate-enter",
+    GATE_LEAVE: "gate-leave",
+    ALLOC: "alloc",
+    FREE: "free",
+    COPY: "copy",
+}
+
+
+class OpNode:
+    """One op in a compiled plan.
+
+    A single fat node class: only the fields of the node's kind are
+    meaningful, the rest stay at their defaults.  Plans are short-lived
+    per-shape artifacts; uniformity beats a class hierarchy here (the
+    executor switches on ``kind`` anyway).
+    """
+
+    __slots__ = (
+        "kind", "depth",
+        # CHECK
+        "region", "access", "tag", "counts_check",
+        # GATE_ENTER / GATE_LEAVE
+        "gate", "coalesced",
+        # ALLOC / FREE
+        "region_name", "size", "batched",
+        # COPY
+        "copy_kind", "nbytes", "fused",
+    )
+
+    def __init__(self, kind, depth=0):
+        self.kind = kind
+        self.depth = depth
+        self.region = None
+        self.access = None
+        self.tag = None
+        self.counts_check = False
+        self.gate = None
+        self.coalesced = False
+        self.region_name = None
+        self.size = 0
+        self.batched = False
+        self.copy_kind = None
+        self.nbytes = 0
+        self.fused = False
+
+    def __repr__(self):
+        extra = ""
+        if self.kind == CHECK:
+            extra = " %s/%s%s" % (
+                getattr(self.region, "name", self.region),
+                getattr(self.access, "value", self.access),
+                " hoisted" if self.counts_check else "",
+            )
+        elif self.kind in (GATE_ENTER, GATE_LEAVE):
+            extra = " %s%s" % (
+                getattr(self.gate, "kind", self.gate),
+                " coalesced" if self.coalesced else "",
+            )
+        elif self.kind in (ALLOC, FREE):
+            extra = " %s%s" % (
+                self.region_name, " batched" if self.batched else "",
+            )
+        elif self.kind == COPY:
+            extra = " %s %s%s" % (
+                self.copy_kind, getattr(self.region, "name", self.region),
+                " fused" if self.fused else "",
+            )
+        return "OpNode(%s d%d%s)" % (
+            KIND_NAMES[self.kind], self.depth, extra,
+        )
+
+
+class Plan:
+    """One compiled specialization: annotated ops plus entry guards.
+
+    ``entry`` is the protection state the trace was recorded under —
+    ``(compartment, PKRU word, ASID)`` — and ``epoch`` the global
+    protection epoch; together they are the layout fingerprint.  The
+    executor refuses the plan when either moved (see
+    :meth:`repro.compile.engine.DatapathCompiler.dispatch`).
+    """
+
+    __slots__ = ("shape", "ops", "epoch", "entry", "head_index",
+                 "head_gate", "tail_gate", "stats", "hits", "miss_row",
+                 "valid", "counted")
+
+    def __init__(self, shape, ops, epoch, entry):
+        self.shape = shape
+        self.ops = ops
+        self.epoch = epoch
+        self.entry = entry
+        #: Index/gate of the first depth-0 crossing (cross-call
+        #: coalescing carry target) and gate of the last depth-0
+        #: crossing; filled in by the gate-coalescing pass.
+        self.head_index = -1
+        self.head_gate = None
+        self.tail_gate = None
+        #: Per-pass accounting, keyed by stat name.
+        self.stats = {}
+        self.hits = 0
+        #: Consecutive non-hit executions (resets on a hit); the engine
+        #: drops the plan for re-recording past its miss limit.
+        self.miss_row = 0
+        self.valid = True
+        #: (region, access) -> tag the hoisted check last *counted*
+        #: under.  The executor's tag compare runs on every node; the
+        #: ``MMU.checks`` increment happens once per pair per tag — the
+        #: "one TLB-tagged check per region/access pair" the hoisting
+        #: pass promises, invalidated by any protection-state change
+        #: (the tag embeds the epoch).
+        self.counted = {}
+
+    def describe(self):
+        """JSON-serialisable summary for ``compile report``."""
+        return {
+            "shape": shape_label(self.shape),
+            "ops": len(self.ops),
+            "hits": self.hits,
+            "epoch": self.epoch,
+            "stats": dict(sorted(self.stats.items())),
+        }
+
+    def __repr__(self):
+        return "Plan(%s, %d ops, %d hits)" % (
+            shape_label(self.shape), len(self.ops), self.hits,
+        )
+
+
+def lower(shape, trace, epoch, entry):
+    """Lower a raw recorded trace into a :class:`Plan` (no passes yet).
+
+    Gate depth is reconstructed from the enter/leave bracketing; a
+    supervisor-replayed crossing can leave the trace unbalanced, which
+    the ``max(0, ...)`` clamps — the resulting plan simply deopts more,
+    it never miscounts.
+    """
+    ops = []
+    depth = 0
+    for entry_t in trace:
+        kind = entry_t[0]
+        if kind == "check":
+            node = OpNode(CHECK, depth)
+            node.region, node.access, node.tag = entry_t[1:]
+        elif kind == "ge":
+            node = OpNode(GATE_ENTER, depth)
+            node.gate = entry_t[1]
+            depth += 1
+        elif kind == "gl":
+            depth = max(0, depth - 1)
+            node = OpNode(GATE_LEAVE, depth)
+            node.gate = entry_t[1]
+        elif kind == "al":
+            node = OpNode(ALLOC, depth)
+            node.region_name, node.size = entry_t[1:]
+        elif kind == "fr":
+            node = OpNode(FREE, depth)
+            node.region_name = entry_t[1]
+        elif kind == "cp":
+            node = OpNode(COPY, depth)
+            node.region, node.copy_kind, node.nbytes = entry_t[1:]
+        else:  # pragma: no cover - recorder and lowerer move in lockstep
+            raise ValueError("unknown trace op %r" % (kind,))
+        ops.append(node)
+    return Plan(shape, ops, epoch, entry)

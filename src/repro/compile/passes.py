@@ -1,0 +1,191 @@
+"""Transformer passes over the datapath IR.
+
+The pass pipeline is the compiler's middle end: each pass walks a
+:class:`~repro.compile.ir.Plan`'s linear op list and *annotates* nodes
+(it never reorders or deletes them — the executor's cursor must match
+the runtime hook sequence one-to-one).  The structure follows the
+op-graph transformer architecture of the ngraph exemplar named in the
+ROADMAP: small single-purpose passes with a uniform ``run(plan)``
+interface, composed into a fixed pipeline.
+
+What each annotation buys at execution time (the elision rules the
+executor implements; soundness arguments in ``docs/compiler.md``):
+
+* **Check hoisting** — the first ``CHECK`` of every distinct
+  ``(region, access)`` pair gets ``counts_check=True``: it remains a
+  real check (the executor's tag compare *is* a permission-TLB hit and
+  still increments ``MMU.checks``).  Every later check of the pair is
+  fully elided — one TLB-tagged check per pair per execution.
+* **Gate coalescing** — a crossing whose nearest preceding sibling
+  crossing left the *same* gate is marked ``coalesced``: the domain
+  transition is still performed (machine state must be bit-identical)
+  but the per-crossing accounting — one-way charges, crossing counters,
+  the trace span, the per-key PKRU writes — is applied once per run of
+  consecutive same-destination crossings, not per crossing.
+* **Alloc batching** — within a gate-free segment, the first
+  ``ALLOC``/``FREE`` per heap region stays charged (the single sized
+  arena request); the rest are marked ``batched`` and their charge and
+  trace event are elided.  The allocation itself always happens — only
+  the per-op cost is fused.
+* **Copy fusion** — runs of same-region same-direction ``COPY`` ops
+  separated only by their own checks are marked ``fused``: the run is
+  exactly what a ``read_vec``/``write_vec`` call site expresses in one
+  op.  Copies always charge (real data movement); the annotation feeds
+  the report so fusable scalar loops are visible, and the hoisting pass
+  already elides the per-copy checks the vec ops would merge.
+"""
+
+from __future__ import annotations
+
+from repro.compile.ir import ALLOC, CHECK, COPY, FREE, GATE_ENTER, GATE_LEAVE
+
+
+class Pass:
+    """One IR transformer: annotate ``plan.ops`` in place."""
+
+    name = "abstract"
+
+    def run(self, plan):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s()" % type(self).__name__
+
+
+class CheckHoistingPass(Pass):
+    """One TLB-tagged check per (region, access) pair per execution."""
+
+    name = "check-hoisting"
+
+    def run(self, plan):
+        seen = set()
+        total = 0
+        for node in plan.ops:
+            if node.kind != CHECK:
+                continue
+            total += 1
+            key = (node.region, node.access)
+            if key not in seen:
+                seen.add(key)
+                node.counts_check = True
+        plan.stats["checks"] = total
+        plan.stats["check_pairs"] = len(seen)
+
+
+class GateCoalescingPass(Pass):
+    """Coalesce consecutive same-destination crossings.
+
+    A crossing is coalesced when the nearest preceding gate op *at the
+    same nesting depth* is the leave of the same gate object —
+    interleaved checks/allocs/copies do not break the run, but any
+    crossing boundary at an enclosing depth does (the scope its siblings
+    lived in is gone).  Also records the plan's head and tail depth-0
+    edges, which the engine uses to extend coalescing across
+    consecutive top-level calls on the same thread (a request's send
+    and the next request's recv cross the same edge back-to-back).
+    """
+
+    name = "gate-coalescing"
+
+    def run(self, plan):
+        last_leave = {}  # depth -> gate of the latest sibling leave
+        total = coalesced = 0
+        for i, node in enumerate(plan.ops):
+            if node.kind == GATE_ENTER:
+                total += 1
+                if plan.head_index < 0 and node.depth == 0:
+                    plan.head_index = i
+                    plan.head_gate = node.gate
+                if last_leave.get(node.depth) is node.gate:
+                    node.coalesced = True
+                    coalesced += 1
+                # A fresh nested scope: children have no siblings yet.
+                last_leave.pop(node.depth + 1, None)
+            elif node.kind == GATE_LEAVE:
+                last_leave[node.depth] = node.gate
+                for depth in [d for d in last_leave if d > node.depth]:
+                    del last_leave[depth]
+                if node.depth == 0:
+                    plan.tail_gate = node.gate
+        plan.stats["gates"] = total
+        plan.stats["gates_coalesced"] = coalesced
+
+
+class AllocBatchingPass(Pass):
+    """Batch per-region allocator ops within gate-free segments."""
+
+    name = "alloc-batching"
+
+    def run(self, plan):
+        seen_alloc = set()
+        seen_free = set()
+        allocs = frees = batched = 0
+        for node in plan.ops:
+            if node.kind in (GATE_ENTER, GATE_LEAVE):
+                # Crossing a domain boundary ends the arena segment:
+                # batching never spans compartments.
+                seen_alloc.clear()
+                seen_free.clear()
+            elif node.kind == ALLOC:
+                allocs += 1
+                if node.region_name in seen_alloc:
+                    node.batched = True
+                    batched += 1
+                else:
+                    seen_alloc.add(node.region_name)
+            elif node.kind == FREE:
+                frees += 1
+                if node.region_name in seen_free:
+                    node.batched = True
+                    batched += 1
+                else:
+                    seen_free.add(node.region_name)
+        plan.stats["allocs"] = allocs
+        plan.stats["frees"] = frees
+        plan.stats["allocs_batched"] = batched
+
+
+class CopyFusionPass(Pass):
+    """Mark scalar copy runs fusable into ``read_vec``/``write_vec``."""
+
+    name = "copy-fusion"
+
+    def run(self, plan):
+        copies = fused = vec_ops = 0
+        prev = None  # (region, copy_kind) of the latest fusable copy
+        for node in plan.ops:
+            if node.kind == COPY:
+                copies += 1
+                if node.copy_kind in ("rv", "wv"):
+                    vec_ops += 1
+                key = (node.region, node.copy_kind)
+                if prev == key:
+                    node.fused = True
+                    fused += 1
+                prev = key
+            elif node.kind == CHECK and prev is not None \
+                    and node.region is prev[0]:
+                # The copy's own permission check; keeps the run alive.
+                continue
+            else:
+                prev = None
+        plan.stats["copies"] = copies
+        plan.stats["copies_fused"] = fused
+        plan.stats["vec_copies"] = vec_ops
+
+
+#: The fixed middle-end pipeline, in application order.
+PIPELINE = (
+    CheckHoistingPass(),
+    GateCoalescingPass(),
+    AllocBatchingPass(),
+    CopyFusionPass(),
+)
+
+
+def run_pipeline(plan, pipeline=PIPELINE):
+    """Run every pass over ``plan``; records the pass list in stats."""
+    for pass_ in pipeline:
+        pass_.run(plan)
+    plan.stats["passes"] = [pass_.name for pass_ in pipeline]
+    return plan

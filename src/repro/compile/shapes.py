@@ -1,0 +1,95 @@
+"""Request shapes: the specialization key of the datapath compiler.
+
+A *shape* identifies a class of top-level entry-point calls whose
+datapath — the sequence of gate crossings, MMU checks, allocator
+operations, and buffer copies — is expected to repeat.  The recorder
+captures one trace per shape and the executor replays the compiled plan
+on every later call with the same shape (guarded; see
+:mod:`repro.compile.engine`).
+
+The key is ``(library, function, argument classes)``.  Argument
+classes are deliberately coarse — a *size class*, not a value — so that
+"GET k1" and "GET k207" share a plan while workloads with genuinely
+different pipelines do not:
+
+* bytes/str arguments map to ``(tag, token, log2-length bucket)`` where
+  *token* is the leading whitespace-delimited word, upper-cased and
+  capped at 8 characters.  The token is what distinguishes request
+  pipelines across every app the tree serves: the Redis command
+  (``GET`` vs ``SET`` touch the keyspace differently), the HTTP method,
+  the SQL verb — without it, same-length requests with different
+  datapaths would share a shape and the plan would deopt on every other
+  call.
+* ints/floats/bools/None map to a one-letter class; containers to their
+  length; everything else to its type name.
+"""
+
+from __future__ import annotations
+
+#: Longest prefix examined for the leading token of a text argument.
+_TOKEN_WINDOW = 24
+#: Longest token kept (enough for any verb the workloads use).
+_TOKEN_MAX = 8
+
+
+def _token(head):
+    """The leading word of a decoded prefix, or None when unprintable."""
+    head = head.strip()
+    if not head:
+        return None
+    word = head.split(None, 1)[0][:_TOKEN_MAX].upper()
+    if all(c.isalnum() or c in "/._-*" for c in word):
+        return word
+    return None
+
+
+def _arg_class(value):
+    """The size class of one argument (hashable, coarse)."""
+    if isinstance(value, (bytes, bytearray)):
+        head = bytes(value[:_TOKEN_WINDOW])
+        try:
+            token = _token(head.decode("ascii"))
+        except UnicodeDecodeError:
+            token = None
+        return ("b", token, len(value).bit_length())
+    if isinstance(value, str):
+        return ("s", _token(value[:_TOKEN_WINDOW]),
+                len(value).bit_length())
+    if isinstance(value, bool):
+        return "t"
+    if isinstance(value, int):
+        return "i"
+    if isinstance(value, float):
+        return "f"
+    if value is None:
+        return "n"
+    if isinstance(value, (list, tuple)):
+        return ("seq", len(value))
+    if isinstance(value, dict):
+        return ("map", len(value))
+    return type(value).__name__
+
+
+def shape_of(library, func, args, kwargs):
+    """The shape key of one top-level entry-point call."""
+    name = getattr(func, "__qualname__",
+                   getattr(func, "__name__", repr(func)))
+    classes = tuple(_arg_class(a) for a in args)
+    if kwargs:
+        classes += tuple(
+            (k, _arg_class(v)) for k, v in sorted(kwargs.items())
+        )
+    return (library, name, classes)
+
+
+def shape_label(shape):
+    """A compact human-readable rendering for reports."""
+    library, name, classes = shape
+    parts = []
+    for cls in classes:
+        if isinstance(cls, tuple) and len(cls) == 3 and cls[0] in "bs":
+            kind, token, bucket = cls
+            parts.append("%s:%s/2^%d" % (kind, token or "?", bucket))
+        else:
+            parts.append(str(cls))
+    return "%s.%s(%s)" % (library, name, ", ".join(parts))

@@ -180,32 +180,47 @@ class Router:
         ctx = current_context()
         dst = self.image.compartment_of(library)
         # Entry hooks drive request-span claiming (repro.obs.spans) and
-        # must fire on *both* paths below: under a single-compartment
-        # layout every call is direct and no gate event ever exists, yet
-        # a request's service interval still has to be observed.  The
-        # hooks never charge the clock (tracer rules).
+        # must fire exactly once per routed call, on *both* paths below:
+        # under a single-compartment layout every call is direct and no
+        # gate event ever exists, yet a request's service interval still
+        # has to be observed.  The hooks never charge the clock (tracer
+        # rules).
         tracer = obs.ACTIVE
         token = tracer.entry_begin(library, ctx) if tracer.enabled \
             else None
         try:
-            if dst.index == ctx.compartment:
-                # Same compartment: a classical function call
-                # (Fig. 3 step 3b).
-                self.direct_calls += 1
-                ctx.clock.charge(self.costs.function_call)
-                with ctx.in_library(library):
-                    return func(*args, **kwargs)
-            name = getattr(func, "__name__", str(func))
-            declared_entry = (
-                getattr(func, "__flexos_entry__", False)
-                and getattr(func, "__flexos_library__", None) == library
-            )
-            if not declared_entry and not self.image.is_legal_entry(
-                    dst.index, name):
-                raise EntryPointViolation(name, dst.name)
-            self.gated_calls += 1
-            gate = self.gate_between(ctx.compartment, dst.index)
-            return gate.call(ctx, library, func, args, kwargs)
+            engine = getattr(ctx, "compiler", None)
+            if engine is not None and engine.state == 0 \
+                    and ctx.gate_depth == 0:
+                # Top-level call with an idle datapath compiler: let the
+                # engine decide to record, execute a plan, or interpret.
+                # Nested routed calls (gate_depth > 0) and calls made
+                # while the engine is mid-session stay interpreted and
+                # become interior ops of the enclosing trace.
+                return engine.dispatch(self, ctx, dst, library, func,
+                                       args, kwargs)
+            return self._dispatch(ctx, dst, library, func, args, kwargs)
         finally:
             if token is not None:
                 tracer.entry_end(token, ctx)
+
+    def _dispatch(self, ctx, dst, library, func, args, kwargs):
+        """The interpreted path: direct or gated, no specialization."""
+        if dst.index == ctx.compartment:
+            # Same compartment: a classical function call
+            # (Fig. 3 step 3b).
+            self.direct_calls += 1
+            ctx.clock.charge(self.costs.function_call)
+            with ctx.in_library(library):
+                return func(*args, **kwargs)
+        name = getattr(func, "__name__", str(func))
+        declared_entry = (
+            getattr(func, "__flexos_entry__", False)
+            and getattr(func, "__flexos_library__", None) == library
+        )
+        if not declared_entry and not self.image.is_legal_entry(
+                dst.index, name):
+            raise EntryPointViolation(name, dst.name)
+        self.gated_calls += 1
+        gate = self.gate_between(ctx.compartment, dst.index)
+        return gate.call(ctx, library, func, args, kwargs)

@@ -147,6 +147,17 @@ class Vfs:
         handle = self._handle(fd)
         if not handle.readable:
             raise FsError(errno.EBADF, "fd %d not open for reading" % fd)
+        reader = getattr(self.driver, "read_spans", None)
+        if reader is not None:
+            # Batched driver: one vfscore->ramfs crossing for the whole
+            # span list, then one scatter write into the buffer.
+            chunks = reader(handle.inode, handle.pos,
+                            [length for _, length in spans])
+            writes = []
+            for (start, _), data in zip(spans, chunks):
+                handle.pos += len(data)
+                writes.append((start, data))
+            return buf.write_vec(current_context(), writes)
         writes = []
         for start, length in spans:
             data = self.driver.read(handle.inode, handle.pos, length)

@@ -68,14 +68,16 @@ class Socket:
         """Gather-send from a :class:`~repro.hw.memory.ByteBuffer`.
 
         ``spans`` is ``[(start, length), ...]`` into ``buf``; the spans
-        are fetched with a single batched protection check and sent as
-        one contiguous TCP payload (the modelled ``writev`` on a socket).
-        Returns bytes queued.
+        are fetched with a single batched protection check and handed to
+        the stack as a scatter list (the modelled ``writev`` on a
+        socket) — TCP segments across the span boundaries directly, so
+        the bytes are never joined into an intermediate contiguous
+        payload.  Returns bytes queued.
         """
         if self.conn is None:
             raise NetworkError("send on an unconnected socket")
-        payload = b"".join(buf.read_vec(current_context(), spans))
-        return self.stack.tcp_send(self.conn, payload)
+        chunks = buf.read_vec(current_context(), spans)
+        return self.stack.tcp_sendv(self.conn, chunks)
 
     def try_recv(self, max_bytes):
         """Non-blocking recv: pumps the device, returns b'' when empty."""

@@ -1,0 +1,580 @@
+"""Datapath compiler tests: shapes, IR, passes, engine, differential.
+
+The contract under test (see :mod:`repro.compile`): specialized
+execution is semantically invisible — identical reply bytes, identical
+faults, identical modelled *work* — while the per-op bookkeeping the
+plan elided (hoisted checks, coalesced crossings, batched allocator
+ops) stops being charged, so virtual cycles and the gate/check counters
+drop.  ``FLEXOS_COMPILE=off`` restores the interpreted path exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile as dc
+from repro.bench.functional import config_for, run_functional_redis
+from repro.bench.load import run_load
+from repro.compile import (
+    DatapathCompiler,
+    OpNode,
+    Plan,
+    attach,
+    default_enabled,
+    detach,
+    lower,
+    run_pipeline,
+    shape_label,
+    shape_of,
+)
+from repro.compile.engine import PLAN_MISS_LIMIT, RECORD_ATTEMPTS
+from repro.compile.ir import (
+    ALLOC,
+    CHECK,
+    COPY,
+    GATE_ENTER,
+    GATE_LEAVE,
+)
+from repro.core.toolchain.build import build_image
+from repro.core.vm import FlexOSInstance, Machine
+from repro.apps.redis import RedisApp
+from repro.errors import ProtectionFault
+from repro.hw.tlb import bump_epoch
+from repro.kernel.lib import entrypoint
+from repro.obs import Tracer, tracing
+from repro.reconfig.driver import (
+    reconfig_config,
+    reference_replies,
+    run_reconfig_redis,
+)
+
+#: The acceptance layouts: none / mpk-light / mpk-full / vm-ept.
+LAYOUTS = (
+    ("none", "full"),
+    ("intel-mpk", "light"),
+    ("intel-mpk", "full"),
+    ("vm-ept", "full"),
+)
+
+
+def redis_world(mechanism="intel-mpk", mpk_gate="full",
+                attach_engine=True):
+    """A booted instance with the redis app isolated in comp2."""
+    instance = FlexOSInstance(
+        build_image(config_for(mechanism, ("redis",), mpk_gate)),
+        machine=Machine(),
+    ).boot()
+    engine = attach(instance) if attach_engine else None
+    return instance, engine
+
+
+#: Toggled by the abort tests; the bool argument keeps one shape for
+#: both behaviours (bools map to the "t" class, not their value).
+@entrypoint("redis")
+def flaky_probe(payload, boom):
+    if boom:
+        raise RuntimeError("probe fault")
+    return bytes(payload)
+
+
+#: Out-of-band switch: flipping it changes the probe's *datapath*
+#: without changing its shape — exactly what forces a mid-plan deopt.
+_PROBE_STATE = {"extra": False}
+
+
+@entrypoint("redis")
+def branchy_probe(server, payload):
+    from repro.hw.cpu import current_context
+
+    ctx = current_context()
+    value = server.db_object.read(ctx)
+    if _PROBE_STATE["extra"]:
+        server.db_object.write(ctx, value)
+    return bytes(payload)
+
+
+class TestKillSwitch:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("FLEXOS_COMPILE", raising=False)
+        assert default_enabled()
+        instance, engine = redis_world()
+        assert isinstance(engine, DatapathCompiler)
+        assert instance.ctx.compiler is engine
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no", "OFF"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("FLEXOS_COMPILE", value)
+        assert not default_enabled()
+        instance, engine = redis_world()
+        assert engine is None
+        assert instance.ctx.compiler is None
+
+    def test_explicit_on(self, monkeypatch):
+        monkeypatch.setenv("FLEXOS_COMPILE", "on")
+        assert default_enabled()
+
+    def test_detach(self):
+        instance, engine = redis_world()
+        assert detach(instance) is engine
+        assert instance.ctx.compiler is None
+        assert detach(instance) is None
+
+
+class TestShapes:
+    def test_values_share_a_shape(self):
+        a = shape_of("redis", flaky_probe, (b"GET mykey",), {})
+        b = shape_of("redis", flaky_probe, (b"GET other",), {})
+        assert a == b
+
+    def test_token_distinguishes_pipelines(self):
+        get = shape_of("redis", flaky_probe, (b"GET mykey",), {})
+        set_ = shape_of("redis", flaky_probe, (b"SET mykey",), {})
+        assert get != set_
+
+    def test_size_class_buckets_by_log2(self):
+        small = shape_of("redis", flaky_probe, (b"GET " + b"k" * 5,), {})
+        near = shape_of("redis", flaky_probe, (b"GET " + b"k" * 8,), {})
+        big = shape_of("redis", flaky_probe, (b"GET " + b"k" * 60,), {})
+        assert small == near  # same bucket
+        assert small != big   # different power-of-two bucket
+
+    def test_scalar_classes(self):
+        shape = shape_of("lib", flaky_probe,
+                         (True, 7, 2.5, None, [1, 2], {"k": 1}), {})
+        assert shape[2] == ("t", "i", "f", "n", ("seq", 2), ("map", 1))
+
+    def test_kwargs_sorted_into_key(self):
+        a = shape_of("lib", flaky_probe, (), {"b": 1, "a": 2})
+        b = shape_of("lib", flaky_probe, (), {"a": 5, "b": 9})
+        assert a == b
+
+    def test_unprintable_token_is_none(self):
+        shape = shape_of("lib", flaky_probe, (b"\xff\xfe\x00data",), {})
+        kind, token, _ = shape[2][0]
+        assert kind == "b" and token is None
+
+    def test_label_renders(self):
+        shape = shape_of("redis", flaky_probe, (b"GET k",), {})
+        label = shape_label(shape)
+        assert "redis" in label and "GET" in label
+
+
+class TestLowering:
+    def test_depth_reconstruction(self):
+        g1, g2, region = object(), object(), object()
+        trace = [
+            ("ge", g1),
+            ("check", region, "read", (0, 1, -1)),
+            ("ge", g2),
+            ("al", ".heap", 32),
+            ("gl", g2),
+            ("cp", region, "r", 8),
+            ("gl", g1),
+        ]
+        plan = lower(("l", "f", ()), trace, 0, (0, 1, -1))
+        kinds = [n.kind for n in plan.ops]
+        assert kinds == [GATE_ENTER, CHECK, GATE_ENTER, ALLOC,
+                         GATE_LEAVE, COPY, GATE_LEAVE]
+        assert [n.depth for n in plan.ops] == [0, 1, 1, 2, 1, 1, 0]
+        assert plan.ops[1].region is region
+        assert plan.ops[3].region_name == ".heap"
+        assert plan.ops[5].copy_kind == "r"
+
+    def test_unbalanced_leave_clamps_at_zero(self):
+        gate = object()
+        plan = lower(("l", "f", ()), [("gl", gate), ("gl", gate)], 0, ())
+        assert [n.depth for n in plan.ops] == [0, 0]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            lower(("l", "f", ()), [("bogus",)], 0, ())
+
+
+def _compiled(trace):
+    plan = lower(("l", "f", ()), trace, 0, ())
+    return run_pipeline(plan)
+
+
+class TestPasses:
+    def test_check_hoisting_first_per_pair(self):
+        r1, r2 = object(), object()
+        plan = _compiled([
+            ("check", r1, "read", (0, 1, -1)),
+            ("check", r1, "read", (0, 1, -1)),
+            ("check", r1, "write", (0, 1, -1)),
+            ("check", r2, "read", (0, 1, -1)),
+            ("check", r1, "read", (0, 1, -1)),
+        ])
+        assert [n.counts_check for n in plan.ops] == [
+            True, False, True, True, False]
+        assert plan.stats["checks"] == 5
+        assert plan.stats["check_pairs"] == 3
+
+    def test_gate_coalescing_consecutive_same_gate(self):
+        gate = object()
+        plan = _compiled([
+            ("ge", gate), ("gl", gate),
+            ("ge", gate), ("gl", gate),
+            ("ge", gate), ("gl", gate),
+        ])
+        enters = [n for n in plan.ops if n.kind == GATE_ENTER]
+        assert [n.coalesced for n in enters] == [False, True, True]
+        assert plan.head_index == 0
+        assert plan.head_gate is gate
+        assert plan.tail_gate is gate
+        assert plan.stats["gates_coalesced"] == 2
+
+    def test_gate_coalescing_broken_by_other_gate(self):
+        g1, g2 = object(), object()
+        plan = _compiled([
+            ("ge", g1), ("gl", g1),
+            ("ge", g2), ("gl", g2),
+            ("ge", g1), ("gl", g1),
+        ])
+        enters = [n for n in plan.ops if n.kind == GATE_ENTER]
+        assert [n.coalesced for n in enters] == [False, False, False]
+        assert plan.tail_gate is g1
+
+    def test_gate_coalescing_nested_scopes_do_not_leak(self):
+        outer, inner = object(), object()
+        plan = _compiled([
+            ("ge", outer), ("ge", inner), ("gl", inner), ("gl", outer),
+            ("ge", outer), ("ge", inner), ("gl", inner), ("gl", outer),
+        ])
+        enters = [n for n in plan.ops if n.kind == GATE_ENTER]
+        # The second outer crossing coalesces; the inner one does not —
+        # its sibling history died with the first outer scope.
+        assert [n.coalesced for n in enters] == [False, False,
+                                                 True, False]
+
+    def test_alloc_batching_within_segment(self):
+        plan = _compiled([
+            ("al", ".heap", 32), ("al", ".heap", 32),
+            ("al", ".other", 8), ("fr", ".heap"), ("fr", ".heap"),
+        ])
+        allocs = [n for n in plan.ops if n.kind in (ALLOC,)]
+        assert [n.batched for n in allocs] == [False, True, False]
+        assert plan.stats["allocs_batched"] == 2
+
+    def test_alloc_batching_reset_at_gate_boundary(self):
+        gate = object()
+        plan = _compiled([
+            ("al", ".heap", 32), ("ge", gate), ("gl", gate),
+            ("al", ".heap", 32),
+        ])
+        allocs = [n for n in plan.ops if n.kind == ALLOC]
+        assert [n.batched for n in allocs] == [False, False]
+
+    def test_copy_fusion_through_own_checks(self):
+        region, other = object(), object()
+        plan = _compiled([
+            ("cp", region, "r", 8),
+            ("check", region, "read", (0, 1, -1)),
+            ("cp", region, "r", 8),
+            ("cp", region, "w", 8),
+            ("check", other, "read", (0, 1, -1)),
+            ("cp", region, "w", 8),
+        ])
+        copies = [n for n in plan.ops if n.kind == COPY]
+        # Run 1: r,r fused through the region's own check.  The w copy
+        # changes direction (no fuse); the foreign check breaks the run.
+        assert [n.fused for n in copies] == [False, True, False, False]
+        assert plan.stats["copies_fused"] == 1
+
+    def test_pipeline_records_pass_list(self):
+        plan = _compiled([])
+        assert plan.stats["passes"] == [
+            "check-hoisting", "gate-coalescing", "alloc-batching",
+            "copy-fusion"]
+
+
+class TestEngineEndToEnd:
+    def _warm(self, server, n=20):
+        server.execute(b"SET mykey value01")
+        for _ in range(n):
+            server.execute(b"GET mykey")
+
+    def test_record_then_hits(self):
+        instance, engine = redis_world()
+        with instance.run():
+            server = RedisApp.make_server(instance)
+            self._warm(server)
+        assert engine.plans_compiled == 2  # one per shape (SET, GET)
+        assert engine.plan_hits >= 18
+        assert engine.deopts == 0
+        assert engine.counters()["dispatches"] == 21
+
+    def test_replies_identical_to_interpreted(self):
+        script = [b"SET k v1", b"GET k", b"GET k", b"SET k v2",
+                  b"GET k", b"DEL k", b"GET k", b"PING"] * 3
+        replies = {}
+        for attach_engine in (False, True):
+            instance, engine = redis_world(attach_engine=attach_engine)
+            with instance.run():
+                server = RedisApp.make_server(instance)
+                replies[attach_engine] = [server.execute(line)
+                                          for line in script]
+        assert replies[True] == replies[False]
+
+    def test_warm_checks_and_crossings_drop(self):
+        counts = {}
+        for attach_engine in (False, True):
+            instance, engine = redis_world(attach_engine=attach_engine)
+            with instance.run():
+                server = RedisApp.make_server(instance)
+                self._warm(server, n=30)
+            crossings = sum(g.crossings
+                            for g in instance.router.gates.values())
+            counts[attach_engine] = (instance.ctx.mmu.checks, crossings,
+                                     instance.clock.cycles)
+        on, off = counts[True], counts[False]
+        assert on[0] < off[0], "mmu.checks did not drop"
+        assert on[1] < off[1], "gate crossings did not drop"
+        assert on[2] < off[2], "virtual cycles did not drop"
+
+    def test_deopt_then_replan_on_datapath_change(self):
+        instance, engine = redis_world()
+        _PROBE_STATE["extra"] = False
+        try:
+            with instance.run():
+                server = RedisApp.make_server(instance)
+                for _ in range(4):
+                    assert branchy_probe(server, b"p") == b"p"
+                assert engine.deopts == 0
+                assert engine.plan_hits == 3
+                # Same shape, different datapath: the extra db write is
+                # an op the plan never recorded.
+                _PROBE_STATE["extra"] = True
+                for _ in range(PLAN_MISS_LIMIT + 1):
+                    assert branchy_probe(server, b"p") == b"p"
+                assert engine.deopts >= 1
+                assert engine.invalidations >= 1
+                # The re-recorded plan covers the new path and hits again.
+                hits = engine.plan_hits
+                assert branchy_probe(server, b"p") == b"p"
+                assert engine.plan_hits > hits
+        finally:
+            _PROBE_STATE["extra"] = False
+
+    def test_epoch_bump_invalidates_and_rerecords(self):
+        instance, engine = redis_world()
+        with instance.run():
+            server = RedisApp.make_server(instance)
+            self._warm(server)
+            compiled = engine.plans_compiled
+            invalidations = engine.invalidations
+            bump_epoch()
+            assert server.execute(b"GET mykey") == b"$7\r\nvalue01\r\n"
+            assert engine.invalidations == invalidations + 1
+            assert engine.plans_compiled == compiled + 1
+            hits = engine.plan_hits
+            assert server.execute(b"GET mykey") == b"$7\r\nvalue01\r\n"
+            assert engine.plan_hits == hits + 1
+
+    def test_metrics_tee(self):
+        instance, engine = redis_world()
+        with tracing(Tracer(clock=instance.clock)) as tracer, \
+                instance.run():
+            server = RedisApp.make_server(instance)
+            self._warm(server)
+        compile_section = tracer.metrics.snapshot()["counters"]["compile"]
+        assert compile_section["records"] == engine.records
+        assert compile_section["plan_hits"] == engine.plan_hits
+        assert compile_section["checks_elided"] == engine.checks_elided
+        assert compile_section["plans_compiled"] == engine.plans_compiled
+
+    def test_compile_section_absent_without_engine(self):
+        instance, _ = redis_world(attach_engine=False)
+        with tracing(Tracer(clock=instance.clock)) as tracer, \
+                instance.run():
+            server = RedisApp.make_server(instance)
+            self._warm(server, n=3)
+        assert "compile" not in tracer.metrics.snapshot()["counters"]
+
+    def test_report_shape(self):
+        instance, engine = redis_world()
+        with instance.run():
+            server = RedisApp.make_server(instance)
+            self._warm(server)
+        report = engine.report()
+        assert report["enabled"]
+        assert report["shapes"]["compiled"] == 2
+        assert len(report["plans"]) == 2
+        for plan in report["plans"]:
+            assert set(plan) == {"shape", "ops", "hits", "epoch",
+                                 "stats"}
+
+
+class TestAbortBlacklist:
+    def test_faulting_shape_blacklisted(self):
+        instance, engine = redis_world()
+        with instance.run():
+            for _ in range(RECORD_ATTEMPTS):
+                with pytest.raises(RuntimeError):
+                    flaky_probe(b"payload", True)
+            assert engine.aborted_records == RECORD_ATTEMPTS
+            records = engine.records
+            # The blacklisted shape stays interpreted: correct result,
+            # no further recording attempts.
+            assert flaky_probe(b"payload", False) == b"payload"
+            assert engine.records == records
+            assert engine.interpreted >= 1
+
+    def test_fault_mid_execute_deopts_soundly(self):
+        instance, engine = redis_world()
+        with instance.run():
+            assert flaky_probe(b"payload", False) == b"payload"
+            assert flaky_probe(b"payload", False) == b"payload"
+            assert engine.plan_hits == 1
+            with pytest.raises(RuntimeError):
+                flaky_probe(b"payload", True)  # same shape, unwinds
+            # The engine recovers: the next clean call still works.
+            assert flaky_probe(b"payload", False) == b"payload"
+
+
+class TestLiveMigration:
+    def test_migration_mid_traffic_invalidates_plans(self):
+        source = reconfig_config("intel-mpk")
+        reference = reference_replies(source, n_requests=24)
+        run = run_reconfig_redis(
+            source, [reconfig_config("vm-ept")], n_requests=24,
+            migrate_after=8, compile_engine=True,
+        )
+        assert run.committed
+        assert run.replies == reference, \
+            "replies diverged across a mid-traffic migration"
+        engine = run.instance.ctx.compiler
+        assert engine is not None
+        assert engine.plan_hits > 0, "no specialized execution pre-migration"
+        assert engine.invalidations >= 1, \
+            "migration epoch bump did not invalidate plans"
+        # Fallback re-recorded under the new layout and specialized again.
+        assert engine.plans_compiled >= 2
+
+    def test_rolled_back_migration_keeps_plans_working(self):
+        source = reconfig_config("intel-mpk")
+        reference = reference_replies(source, n_requests=16)
+        run = run_reconfig_redis(
+            source, [reconfig_config("vm-ept")], n_requests=16,
+            migrate_after=6, inject_at=2, compile_engine=True,
+        )
+        assert not run.committed  # the injected fault rolled it back
+        assert run.replies == reference
+
+
+class CountingTracer(Tracer):
+    """Counts entry_begin/entry_end balance around the span plumbing."""
+
+    def __init__(self, clock):
+        super().__init__(clock=clock)
+        self.begins = {}
+        self.open = 0
+
+    def entry_begin(self, library, ctx):
+        self.begins[library] = self.begins.get(library, 0) + 1
+        self.open += 1
+        return ("count", super().entry_begin(library, ctx))
+
+    def entry_end(self, token, ctx):
+        self.open -= 1
+        _, inner = token
+        if inner is not None:
+            super().entry_end(inner, ctx)
+
+
+class TestEntryHooksExactlyOnce:
+    """Satellite: Router.route entry hooks under the SMP scheduler."""
+
+    def test_smp_load_entry_hooks_once_per_request(self):
+        n_requests = 24
+        tracer = CountingTracer(clock=None)
+        result = run_load("redis", "intel-mpk", rate_rps=None,
+                          n_requests=n_requests, cores=2, connections=2,
+                          tracer=tracer)
+        assert result.completed == n_requests
+        assert tracer.open == 0, "unbalanced entry_begin/entry_end"
+        assert tracer.begins["redis"] == n_requests
+
+    def test_compiled_run_fires_hooks_identically(self):
+        counts = {}
+        for compile_engine in (False, True):
+            tracer = CountingTracer(clock=None)
+            run_functional_redis("intel-mpk", n_requests=16,
+                                 tracer=tracer,
+                                 compile_engine=compile_engine)
+            assert tracer.open == 0
+            counts[compile_engine] = dict(tracer.begins)
+        assert counts[True] == counts[False], \
+            "the engine changed how often entry hooks fire"
+
+
+# -- differential property: FLEXOS_COMPILE on == off ------------------------
+
+_OPS = st.lists(
+    st.sampled_from([
+        "get", "get_other", "set", "set_big", "del", "ping",
+        "probe", "probe_boom", "bump_epoch",
+    ]),
+    max_size=24,
+)
+
+
+def _replay(layout, ops, enabled):
+    """One scripted run; returns everything that must be preserved."""
+    monkeypatch = pytest.MonkeyPatch()
+    try:
+        monkeypatch.setenv("FLEXOS_COMPILE", "on" if enabled else "off")
+        mechanism, mpk_gate = layout
+        instance, engine = redis_world(mechanism, mpk_gate)
+        assert (engine is not None) == enabled
+        replies = []
+        faults = []
+        with instance.run():
+            server = RedisApp.make_server(instance)
+            for index, op in enumerate(ops):
+                try:
+                    if op == "get":
+                        replies.append(server.execute(b"GET k1"))
+                    elif op == "get_other":
+                        replies.append(server.execute(b"GET missing"))
+                    elif op == "set":
+                        replies.append(server.execute(b"SET k1 v01"))
+                    elif op == "set_big":
+                        replies.append(
+                            server.execute(b"SET k1 " + b"y" * 64))
+                    elif op == "del":
+                        replies.append(server.execute(b"DEL k1"))
+                    elif op == "ping":
+                        replies.append(server.execute(b"PING"))
+                    elif op == "probe":
+                        replies.append(flaky_probe(b"payload", False))
+                    elif op == "probe_boom":
+                        flaky_probe(b"payload", True)
+                    elif op == "bump_epoch":
+                        bump_epoch()
+                except (RuntimeError, ProtectionFault) as exc:
+                    faults.append((index, type(exc).__name__))
+        return {
+            "replies": replies,
+            "faults": faults,
+            "work": dict(instance.ctx.work_by_library),
+            "checks": instance.ctx.mmu.checks,
+            "cycles": instance.clock.cycles,
+        }
+    finally:
+        monkeypatch.undo()
+
+
+@settings(max_examples=25, deadline=None)
+@given(layout=st.sampled_from(LAYOUTS), ops=_OPS)
+def test_differential_compile_on_off(layout, ops):
+    """Random scripts are semantically identical with the engine on/off:
+    same replies, same faults, same modelled work — and the engine never
+    *adds* checks or cycles."""
+    on = _replay(layout, ops, True)
+    off = _replay(layout, ops, False)
+    assert on["replies"] == off["replies"], "reply bytes diverged"
+    assert on["faults"] == off["faults"], "fault sequences diverged"
+    assert on["work"] == off["work"], "modelled work diverged"
+    assert on["checks"] <= off["checks"], "engine added MMU checks"
+    assert on["cycles"] <= off["cycles"], "engine added virtual cycles"
